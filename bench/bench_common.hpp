@@ -1,0 +1,46 @@
+// Shared plumbing for the figure-reproduction benches: the p sweep of the
+// paper's evaluation, a --runs flag, and headers that echo the experimental
+// setup.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "emerge/monte_carlo.hpp"
+
+namespace emergence::bench {
+
+/// The paper sweeps the malicious rate p over [0, 0.5].
+inline std::vector<double> paper_p_sweep(double step = 0.05) {
+  std::vector<double> ps;
+  for (double p = 0.0; p <= 0.5 + 1e-9; p += step) ps.push_back(p);
+  return ps;
+}
+
+/// Parses "--runs=N" (and "--quick" as a 100-run alias) from argv; defaults
+/// to the paper's 1000 repetitions.
+inline std::size_t parse_runs(int argc, char** argv,
+                              std::size_t default_runs = 1000) {
+  std::size_t runs = default_runs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--runs=", 0) == 0) runs = std::stoul(arg.substr(7));
+    if (arg == "--quick") runs = 100;
+  }
+  if (const char* env = std::getenv("EMERGENCE_BENCH_RUNS")) {
+    runs = std::stoul(env);
+  }
+  return runs;
+}
+
+inline void print_setup(const std::string& figure, std::size_t runs) {
+  std::cout << "# == " << figure << " ==\n"
+            << "# setup: Monte Carlo over a simulated DHT population, "
+            << runs << " runs per point (paper: 1000), seed fixed.\n"
+            << "# columns: analytic model prediction and simulated estimate "
+               "(R = min(Rr, Rd)).\n\n";
+}
+
+}  // namespace emergence::bench

@@ -1,0 +1,106 @@
+// Microbenchmarks for the DHT substrates: lookup latency / hop counts
+// versus network size, put/get throughput, bootstrap and join cost, for
+// both Chord and Kademlia.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/kademlia.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace emergence;
+using namespace emergence::dht;
+
+struct Net {
+  sim::Simulator sim;
+  Rng rng{7};
+  std::unique_ptr<ChordNetwork> net;
+
+  explicit Net(std::size_t n) {
+    NetworkConfig config;
+    config.run_maintenance = false;
+    net = std::make_unique<ChordNetwork>(sim, rng, config);
+    net->bootstrap(n);
+  }
+};
+
+struct KadNet {
+  sim::Simulator sim;
+  Rng rng{7};
+  std::unique_ptr<KademliaNetwork> net;
+
+  explicit KadNet(std::size_t n) {
+    KademliaConfig config;
+    config.run_maintenance = false;
+    net = std::make_unique<KademliaNetwork>(sim, rng, config);
+    net->bootstrap(n);
+  }
+};
+
+void BM_ChordLookup(benchmark::State& state) {
+  Net n(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const NodeId key = NodeId::hash_of_text("key-" + std::to_string(i++));
+    benchmark::DoNotOptimize(n.net->lookup(key));
+  }
+  state.counters["mean_hops"] = n.net->lookup_stats().mean_hops();
+}
+BENCHMARK(BM_ChordLookup)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(10000);
+
+void BM_ChordPutGet(benchmark::State& state) {
+  Net n(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const NodeId key = NodeId::hash_of_text("kv-" + std::to_string(i++));
+    n.net->put(key, bytes_of("value"));
+    benchmark::DoNotOptimize(n.net->get(key));
+  }
+}
+BENCHMARK(BM_ChordPutGet)->Arg(256)->Arg(4096);
+
+void BM_ChordBootstrap(benchmark::State& state) {
+  for (auto _ : state) {
+    Net n(static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(n.net->alive_count());
+  }
+}
+BENCHMARK(BM_ChordBootstrap)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_ChordJoin(benchmark::State& state) {
+  Net n(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(n.net->add_node());
+  }
+}
+BENCHMARK(BM_ChordJoin)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_KademliaLookup(benchmark::State& state) {
+  KadNet n(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const NodeId key = NodeId::hash_of_text("kkey-" + std::to_string(i++));
+    benchmark::DoNotOptimize(n.net->lookup(key));
+  }
+  state.counters["mean_hops"] = n.net->mean_lookup_hops();
+}
+BENCHMARK(BM_KademliaLookup)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_KademliaPutGet(benchmark::State& state) {
+  KadNet n(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const NodeId key = NodeId::hash_of_text("kkv-" + std::to_string(i++));
+    n.net->put(key, bytes_of("value"));
+    benchmark::DoNotOptimize(n.net->get(key));
+  }
+}
+BENCHMARK(BM_KademliaPutGet)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

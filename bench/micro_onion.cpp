@@ -1,0 +1,67 @@
+// Microbenchmarks for the onion package pipeline: building a whole onion,
+// per-holder peel cost, and package sizes vs geometry (the sender-side and
+// holder-side costs of the protocol).
+#include <benchmark/benchmark.h>
+
+#include "emerge/onion.hpp"
+
+namespace {
+
+using namespace emergence;
+using namespace emergence::core;
+
+crypto::SymmetricKey key_of(std::uint8_t fill) {
+  return crypto::SymmetricKey::from_bytes(Bytes(32, fill));
+}
+
+std::vector<ColumnBuildSpec> make_specs(std::size_t l, std::size_t holders) {
+  std::vector<ColumnBuildSpec> specs(l);
+  for (std::size_t c = 0; c < l; ++c) {
+    specs[c].holder_keys.assign(holders, key_of(static_cast<std::uint8_t>(c)));
+    specs[c].envelopes.resize(holders);
+    for (auto& env : specs[c].envelopes) {
+      if (c + 1 == l) {
+        env.terminal_payload = Bytes(32, 0xaa);
+      } else {
+        env.next_hops.assign(holders, dht::NodeId::hash_of_text("hop"));
+      }
+    }
+  }
+  return specs;
+}
+
+void BM_BuildOnion(benchmark::State& state) {
+  crypto::Drbg drbg(std::uint64_t{1});
+  const auto specs = make_specs(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const Bytes onion = build_onion(specs, drbg);
+    bytes = onion.size();
+    benchmark::DoNotOptimize(onion.data());
+  }
+  state.counters["onion_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_BuildOnion)
+    ->Args({3, 2})
+    ->Args({10, 4})
+    ->Args({20, 8})
+    ->Args({50, 8});
+
+void BM_PeelLayer(benchmark::State& state) {
+  crypto::Drbg drbg(std::uint64_t{2});
+  const auto specs = make_specs(static_cast<std::size_t>(state.range(0)), 4);
+  const Bytes raw = build_onion(specs, drbg);
+  for (auto _ : state) {
+    const ColumnOnion onion = parse_column_onion(raw);
+    const EnvelopeContent content =
+        open_envelope(key_of(0), onion.envelope_for(0), 1);
+    benchmark::DoNotOptimize(
+        unwrap_inner(content.inner_key, onion.inner, 1));
+  }
+}
+BENCHMARK(BM_PeelLayer)->Arg(3)->Arg(10)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

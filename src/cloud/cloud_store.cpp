@@ -1,0 +1,30 @@
+#include "cloud/cloud_store.hpp"
+
+#include "common/hex.hpp"
+#include "crypto/sha256.hpp"
+
+namespace emergence::cloud {
+
+BlobId CloudStore::upload(BytesView ciphertext,
+                          const std::string& receiver_token) {
+  const BlobId id = to_hex(crypto::sha256(ciphertext));
+  blobs_[id] = Entry{Bytes(ciphertext.begin(), ciphertext.end()),
+                     receiver_token};
+  return id;
+}
+
+DownloadResult CloudStore::download(const BlobId& id,
+                                    const std::string& receiver_token) const {
+  ++download_attempts_;
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return DownloadResult{CloudStatus::kNotFound, {}};
+  if (it->second.token != receiver_token) {
+    ++unauthorized_;
+    return DownloadResult{CloudStatus::kUnauthorized, {}};
+  }
+  return DownloadResult{CloudStatus::kOk, it->second.ciphertext};
+}
+
+bool CloudStore::remove(const BlobId& id) { return blobs_.erase(id) > 0; }
+
+}  // namespace emergence::cloud

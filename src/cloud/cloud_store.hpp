@@ -1,0 +1,64 @@
+// The "cloud" entity of the paper's system model (Fig. 1).
+//
+// An always-available blob store that holds the *encrypted* message for the
+// whole emerging period. Authenticated receivers may download the ciphertext
+// at any time after ts; without the key (which lives in the DHT) the blob is
+// useless, so the cloud is untrusted for confidentiality and trusted only
+// for availability. Access control is a simple bearer-token check: the
+// sender registers the receiver's token when uploading.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+
+namespace emergence::cloud {
+
+/// Identifier of an uploaded blob.
+using BlobId = std::string;
+
+/// Result codes for download attempts.
+enum class CloudStatus {
+  kOk,
+  kNotFound,
+  kUnauthorized,
+};
+
+/// Download result: status plus ciphertext when authorized.
+struct DownloadResult {
+  CloudStatus status = CloudStatus::kNotFound;
+  Bytes ciphertext;
+};
+
+/// Always-available encrypted blob storage with per-blob receiver tokens.
+class CloudStore {
+ public:
+  /// Uploads a ciphertext readable by holders of `receiver_token`.
+  /// Returns the blob id (hash of the ciphertext).
+  BlobId upload(BytesView ciphertext, const std::string& receiver_token);
+
+  /// Downloads a blob; checks the bearer token.
+  DownloadResult download(const BlobId& id,
+                          const std::string& receiver_token) const;
+
+  /// Deletes a blob (sender housekeeping after release).
+  bool remove(const BlobId& id);
+
+  std::size_t blob_count() const { return blobs_.size(); }
+  std::uint64_t download_attempts() const { return download_attempts_; }
+  std::uint64_t unauthorized_attempts() const { return unauthorized_; }
+
+ private:
+  struct Entry {
+    Bytes ciphertext;
+    std::string token;
+  };
+  std::unordered_map<BlobId, Entry> blobs_;
+  mutable std::uint64_t download_attempts_ = 0;
+  mutable std::uint64_t unauthorized_ = 0;
+};
+
+}  // namespace emergence::cloud

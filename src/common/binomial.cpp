@@ -1,0 +1,106 @@
+#include "common/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace emergence {
+
+double log_choose(std::size_t n, std::size_t k) {
+  require(k <= n, "log_choose: k > n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binom_pmf(std::size_t n, std::size_t k, double p) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double lp = std::log(p);
+  const double lq = std::log1p(-p);
+  const double logpmf = log_choose(n, k) + static_cast<double>(k) * lp +
+                        static_cast<double>(n - k) * lq;
+  return std::exp(logpmf);
+}
+
+double binom_tail_ge(std::size_t n, std::size_t m, double p) {
+  if (m == 0) return 1.0;
+  if (m > n) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  // Sum pmf from m upward, iterating with the pmf ratio to avoid n calls to
+  // lgamma. Start from the log pmf at k = m.
+  const double lp = std::log(p);
+  const double lq = std::log1p(-p);
+  double log_term = log_choose(n, m) + static_cast<double>(m) * lp +
+                    static_cast<double>(n - m) * lq;
+  double term = std::exp(log_term);
+  double sum = 0.0;
+  const double ratio_base = p / (1.0 - p);
+  for (std::size_t k = m; k <= n; ++k) {
+    sum += term;
+    if (k < n) {
+      // pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/(1-p)
+      term *= ratio_base * static_cast<double>(n - k) /
+              static_cast<double>(k + 1);
+    }
+    if (term < 1e-320) break;  // further terms cannot affect the sum
+  }
+  return std::min(sum, 1.0);
+}
+
+std::vector<double> binom_tail_table(std::size_t n, double p) {
+  std::vector<double> tail(n + 2, 0.0);
+  if (p <= 0.0) {
+    tail[0] = 1.0;
+    return tail;
+  }
+  if (p >= 1.0) {
+    for (std::size_t m = 0; m <= n; ++m) tail[m] = 1.0;
+    return tail;
+  }
+  // Build pmf values with the recurrence starting at k=0, then suffix-sum.
+  // Accumulate in long double to keep the suffix sums stable.
+  std::vector<long double> pmf(n + 1, 0.0L);
+  const double lq = std::log1p(-p);
+  pmf[0] = std::exp(static_cast<long double>(n) * lq);
+  const long double ratio_base = static_cast<long double>(p) / (1.0L - p);
+  for (std::size_t k = 0; k < n; ++k) {
+    pmf[k + 1] = pmf[k] * ratio_base * static_cast<long double>(n - k) /
+                 static_cast<long double>(k + 1);
+  }
+  // If p*n is large, pmf[0] underflows; rebuild from the mode in that case.
+  const auto mode = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(n),
+                       std::floor((static_cast<double>(n) + 1.0) * p)));
+  if (pmf[mode] <= 0.0L) {
+    const double lp = std::log(p);
+    for (std::size_t k = 0; k <= n; ++k) {
+      pmf[k] = std::exp(static_cast<long double>(
+          log_choose(n, k) + static_cast<double>(k) * lp +
+          static_cast<double>(n - k) * lq));
+    }
+  }
+  long double acc = 0.0L;
+  for (std::size_t m = n + 1; m-- > 0;) {
+    acc += pmf[m];
+    tail[m] = static_cast<double>(std::min(acc, 1.0L));
+  }
+  return tail;
+}
+
+double pow_one_minus(double p, double k) {
+  if (p <= 0.0) return 1.0;
+  if (p >= 1.0) return 0.0;
+  return std::exp(k * std::log1p(-p));
+}
+
+double one_minus_pow_one_minus(double x, double k) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return -std::expm1(k * std::log1p(-x));
+}
+
+}  // namespace emergence

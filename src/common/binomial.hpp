@@ -1,0 +1,33 @@
+// Numerically careful binomial and power helpers.
+//
+// Algorithm 1 of the paper and the closed-form resilience models (eqs. 1-3)
+// need binomial tail probabilities for n up to ~10000 and expressions like
+// 1-(1-(1-p)^k)^l that underflow in naive arithmetic. Everything here works
+// in log space where it matters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace emergence {
+
+/// log(n choose k); 0 <= k <= n.
+double log_choose(std::size_t n, std::size_t k);
+
+/// P[X = k] for X ~ Binom(n, p).
+double binom_pmf(std::size_t n, std::size_t k, double p);
+
+/// Upper tail P[X >= m] for X ~ Binom(n, p). m > n yields 0; m == 0 yields 1.
+double binom_tail_ge(std::size_t n, std::size_t m, double p);
+
+/// Full upper-tail table: out[m] = P[X >= m] for m in [0, n+1].
+/// Computed with one O(n) pass; out[n+1] = 0.
+std::vector<double> binom_tail_table(std::size_t n, double p);
+
+/// (1-p)^k computed as exp(k*log1p(-p)); exact at the endpoints.
+double pow_one_minus(double p, double k);
+
+/// 1-(1-x)^k computed stably for tiny x (uses expm1/log1p).
+double one_minus_pow_one_minus(double x, double k);
+
+}  // namespace emergence

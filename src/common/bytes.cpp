@@ -1,0 +1,39 @@
+#include "common/bytes.hpp"
+
+#include "common/error.hpp"
+
+namespace emergence {
+
+Bytes bytes_of(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string string_of(BytesView data) {
+  return std::string(data.begin(), data.end());
+}
+
+Bytes concat(BytesView a, BytesView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void xor_into(std::span<std::uint8_t> a, BytesView b) {
+  require(a.size() == b.size(), "xor_into: size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+}  // namespace emergence

@@ -1,0 +1,39 @@
+// Byte-buffer primitives shared by every subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emergence {
+
+/// Owning byte buffer. The library works in terms of this alias so that the
+/// representation can be swapped (e.g. for a secure-wiping allocator) in one
+/// place.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a buffer from a string literal / std::string (no encoding applied).
+Bytes bytes_of(std::string_view text);
+
+/// Renders a buffer as a std::string (bytes copied verbatim).
+std::string string_of(BytesView data);
+
+/// Returns `a || b`.
+Bytes concat(BytesView a, BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Constant-time equality; resists timing side channels when comparing MACs.
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// XORs `b` into `a` elementwise. Both spans must have equal length.
+void xor_into(std::span<std::uint8_t> a, BytesView b);
+
+}  // namespace emergence

@@ -1,0 +1,18 @@
+// Hexadecimal encoding/decoding for byte buffers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace emergence {
+
+/// Lower-case hex encoding of `data`.
+std::string to_hex(BytesView data);
+
+/// Decodes hex text (case-insensitive). Throws CodecError on odd length or
+/// non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace emergence

@@ -1,0 +1,97 @@
+#include "common/serial.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace emergence {
+
+void BinaryWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void BinaryWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void BinaryWriter::blob(BytesView data) {
+  require(data.size() <= std::numeric_limits<std::uint32_t>::max(),
+          "BinaryWriter::blob: payload too large");
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void BinaryWriter::raw(BytesView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void BinaryWriter::str(std::string_view s) {
+  blob(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void BinaryReader::need(std::size_t n) const {
+  if (remaining() < n) throw CodecError("BinaryReader: truncated input");
+}
+
+std::uint8_t BinaryReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t BinaryReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t BinaryReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Bytes BinaryReader::blob() {
+  const std::uint32_t n = u32();
+  return raw(n);
+}
+
+Bytes BinaryReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+std::string BinaryReader::str() {
+  Bytes b = blob();
+  return std::string(b.begin(), b.end());
+}
+
+void BinaryReader::expect_done() const {
+  if (!done()) throw CodecError("BinaryReader: trailing bytes");
+}
+
+}  // namespace emergence

@@ -1,0 +1,61 @@
+// Minimal binary serialization used by the onion format and DHT messages.
+//
+// All integers are little-endian fixed width. Variable-size payloads are
+// length-prefixed with u32. The reader throws CodecError on truncation so a
+// malformed (or maliciously crafted) buffer can never read out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace emergence {
+
+/// Appends primitive values to a growing byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Writes a u32 length prefix followed by the raw bytes.
+  void blob(BytesView data);
+  /// Writes raw bytes with no length prefix (fixed-size fields).
+  void raw(BytesView data);
+  void str(std::string_view s);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes primitive values from a byte buffer; throws CodecError when the
+/// requested read would run past the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes blob();
+  Bytes raw(std::size_t n);
+  std::string str();
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws CodecError unless the whole buffer has been consumed.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace emergence

@@ -1,0 +1,44 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace emergence {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::stderr_mean() const {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStat::ci95_halfwidth() const { return 1.96 * stderr_mean(); }
+
+void RateStat::add(bool success) {
+  ++trials_;
+  if (success) ++successes_;
+}
+
+double RateStat::rate() const {
+  if (trials_ == 0) return 0.0;
+  return static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+double RateStat::stderr_rate() const {
+  if (trials_ == 0) return 0.0;
+  const double r = rate();
+  return std::sqrt(r * (1.0 - r) / static_cast<double>(trials_));
+}
+
+}  // namespace emergence

@@ -1,0 +1,46 @@
+// Streaming statistics for Monte-Carlo experiment aggregation.
+#pragma once
+
+#include <cstddef>
+
+namespace emergence {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double stderr_mean() const;
+  /// Half-width of a 95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Accumulates Bernoulli outcomes (success counts) and reports the success
+/// frequency; used for resilience probabilities.
+class RateStat {
+ public:
+  void add(bool success);
+
+  std::size_t trials() const { return trials_; }
+  std::size_t successes() const { return successes_; }
+  double rate() const;
+  /// Standard error of the estimated rate.
+  double stderr_rate() const;
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+}  // namespace emergence

@@ -1,0 +1,47 @@
+// Authenticated encryption for onion layers and cloud blobs.
+//
+// Construction: encrypt-then-MAC. The 32-byte master key is expanded with
+// HKDF into independent encryption and MAC keys; the ciphertext layout is
+//   nonce (12) || body || tag (32)
+// where tag = HMAC-SHA256(mac_key, nonce || aad_len || aad || body).
+// Decryption verifies the tag in constant time before any parsing.
+//
+// Two interchangeable stream backends are provided (ChaCha20 default,
+// AES-256-CTR); the backend id is bound into the HKDF info string so a
+// ciphertext can only be opened by the backend that produced it.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.hpp"
+
+namespace emergence::crypto {
+
+/// Symmetric cipher backend selector.
+enum class CipherBackend : std::uint8_t {
+  kChaCha20 = 0,
+  kAes256Ctr = 1,
+};
+
+/// A 256-bit symmetric key.
+struct SymmetricKey {
+  std::array<std::uint8_t, 32> bytes{};
+
+  static SymmetricKey from_bytes(BytesView raw);
+  Bytes to_bytes() const { return Bytes(bytes.begin(), bytes.end()); }
+};
+
+/// Seals `plaintext` with `key`, binding `aad` (associated data) into the
+/// tag. The nonce must be unique per (key, message); callers obtain one from
+/// the DRBG.
+Bytes aead_seal(const SymmetricKey& key, BytesView nonce12, BytesView plaintext,
+                BytesView aad, CipherBackend backend = CipherBackend::kChaCha20);
+
+/// Opens a sealed buffer. Throws CryptoError if the tag does not verify.
+Bytes aead_open(const SymmetricKey& key, BytesView sealed, BytesView aad,
+                CipherBackend backend = CipherBackend::kChaCha20);
+
+/// Total ciphertext overhead (nonce + tag) in bytes.
+constexpr std::size_t kAeadOverhead = 12 + 32;
+
+}  // namespace emergence::crypto

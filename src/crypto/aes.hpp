@@ -1,0 +1,43 @@
+// AES-128/192/256 block cipher (FIPS 197) with CTR mode.
+//
+// Provided as the second SymmetricCipher backend (the paper does not pin a
+// cipher; ChaCha20 is the default, AES-CTR is selectable). Byte-oriented
+// implementation; correctness is verified against the FIPS 197 and NIST
+// SP 800-38A vectors in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace emergence::crypto {
+
+/// AES block cipher with a fixed expanded key schedule.
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24 or 32 bytes; throws PreconditionError otherwise.
+  explicit Aes(BytesView key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(std::uint8_t* block) const;
+
+  /// Decrypts one 16-byte block in place.
+  void decrypt_block(std::uint8_t* block) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  int rounds_;
+  // Maximum schedule: AES-256 has 15 round keys of 16 bytes each.
+  std::array<std::uint8_t, 240> round_keys_{};
+};
+
+/// AES-CTR keystream XOR: encryption and decryption are identical. The
+/// 16-byte counter block is `nonce (12 bytes) || big-endian u32 counter`.
+void aes_ctr_xor(const Aes& cipher, const std::array<std::uint8_t, 12>& nonce,
+                 std::uint32_t initial_counter, std::span<std::uint8_t> data);
+
+}  // namespace emergence::crypto

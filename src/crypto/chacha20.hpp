@@ -1,0 +1,34 @@
+// ChaCha20 stream cipher (RFC 8439), implemented from the specification.
+//
+// The onion layers and the cloud blob are protected with
+// ChaCha20 + HMAC-SHA256 in an encrypt-then-MAC construction (see aead.hpp);
+// the DRBG (drbg.hpp) also builds on the raw keystream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace emergence::crypto {
+
+constexpr std::size_t kChaChaKeySize = 32;
+constexpr std::size_t kChaChaNonceSize = 12;
+
+/// Computes one 64-byte ChaCha20 block for (key, counter, nonce).
+std::array<std::uint8_t, 64> chacha20_block(
+    const std::array<std::uint8_t, kChaChaKeySize>& key, std::uint32_t counter,
+    const std::array<std::uint8_t, kChaChaNonceSize>& nonce);
+
+/// XORs the keystream starting at block `initial_counter` into `data`
+/// in place. Encryption and decryption are the same operation.
+void chacha20_xor(const std::array<std::uint8_t, kChaChaKeySize>& key,
+                  const std::array<std::uint8_t, kChaChaNonceSize>& nonce,
+                  std::uint32_t initial_counter, std::span<std::uint8_t> data);
+
+/// Convenience: returns the XOR of `data` with the keystream.
+Bytes chacha20_apply(const std::array<std::uint8_t, kChaChaKeySize>& key,
+                     const std::array<std::uint8_t, kChaChaNonceSize>& nonce,
+                     std::uint32_t initial_counter, BytesView data);
+
+}  // namespace emergence::crypto

@@ -1,0 +1,83 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+
+namespace emergence::crypto {
+
+Drbg::Drbg(BytesView seed) {
+  const Bytes digest = sha256(seed);
+  std::copy(digest.begin(), digest.end(), key_.begin());
+}
+
+Drbg::Drbg(std::uint64_t seed) {
+  std::array<std::uint8_t, 8> raw;
+  for (int i = 0; i < 8; ++i)
+    raw[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed >> (8 * i));
+  const Bytes digest = sha256(BytesView(raw.data(), raw.size()));
+  std::copy(digest.begin(), digest.end(), key_.begin());
+}
+
+void Drbg::refill() {
+  std::array<std::uint8_t, kChaChaNonceSize> nonce{};
+  for (int i = 0; i < 8; ++i)
+    nonce[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(block_counter_ >> (8 * i));
+  ++block_counter_;
+
+  // Generate two blocks: the first becomes the next key (fast key erasure),
+  // the second is the output pool.
+  const auto block0 = chacha20_block(key_, 0, nonce);
+  const auto block1 = chacha20_block(key_, 1, nonce);
+  std::copy(block0.begin(), block0.begin() + 32, key_.begin());
+  pool_ = block1;
+  pool_used_ = 0;
+}
+
+void Drbg::fill(std::span<std::uint8_t> out) {
+  std::size_t written = 0;
+  while (written < out.size()) {
+    if (pool_used_ == pool_.size()) refill();
+    const std::size_t take =
+        std::min(pool_.size() - pool_used_, out.size() - written);
+    std::memcpy(out.data() + written, pool_.data() + pool_used_, take);
+    pool_used_ += take;
+    written += take;
+  }
+}
+
+Bytes Drbg::bytes(std::size_t count) {
+  Bytes out(count);
+  fill(out);
+  return out;
+}
+
+std::uint64_t Drbg::u64() {
+  std::array<std::uint8_t, 8> raw;
+  fill(raw);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(raw[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Drbg::below(std::uint64_t n) {
+  require(n > 0, "Drbg::below: empty range");
+  // Rejection sampling over the largest multiple of n that fits in 64 bits.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t v;
+  do {
+    v = u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+Drbg Drbg::fork() {
+  const Bytes child_seed = bytes(32);
+  return Drbg(child_seed);
+}
+
+}  // namespace emergence::crypto

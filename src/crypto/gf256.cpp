@@ -1,0 +1,68 @@
+#include "crypto/gf256.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace emergence::crypto::gf256 {
+namespace {
+
+// Log/antilog tables over the generator 3 (a primitive element of the AES
+// field). exp table is doubled so mul can skip the mod 255.
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+
+  Tables() {
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      // Multiply x by the generator 3 = x * 2 + x.
+      const std::uint8_t x2 =
+          static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+      x = static_cast<std::uint8_t>(x2 ^ x);
+    }
+    for (int i = 255; i < 512; ++i)
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  require(a != 0, "gf256::inv: zero has no inverse");
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  require(b != 0, "gf256::div: division by zero");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + 255 - t.log[b]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned e) {
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  while (e > 0) {
+    if (e & 1u) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+}  // namespace emergence::crypto::gf256

@@ -1,0 +1,26 @@
+// Arithmetic in GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1.
+//
+// This field underlies the Shamir secret-sharing implementation: secrets are
+// split byte-wise, each byte treated as a field element.
+#pragma once
+
+#include <cstdint>
+
+namespace emergence::crypto::gf256 {
+
+/// Addition = subtraction = XOR in characteristic 2.
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+/// Field multiplication (table-backed after first use).
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse; requires a != 0.
+std::uint8_t inv(std::uint8_t a);
+
+/// a / b; requires b != 0.
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// a^e by square-and-multiply (exponent over the integers).
+std::uint8_t pow(std::uint8_t a, unsigned e);
+
+}  // namespace emergence::crypto::gf256

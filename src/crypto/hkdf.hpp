@@ -1,0 +1,19 @@
+// HKDF (RFC 5869) over HMAC-SHA256; used to derive per-layer onion keys and
+// MAC keys from a single symmetric key.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace emergence::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: OKM of `length` bytes from PRK and info.
+/// length must be <= 255*32.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Convenience: extract-then-expand.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace emergence::crypto

@@ -1,0 +1,32 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace emergence::crypto {
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = sha256(k);
+  k.resize(kBlock, 0x00);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const auto inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  const auto digest = outer.finalize();
+  return Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace emergence::crypto

@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace emergence::crypto {
+
+/// Computes HMAC-SHA256(key, data). Keys longer than the block size are
+/// hashed first, per the RFC.
+Bytes hmac_sha256(BytesView key, BytesView data);
+
+}  // namespace emergence::crypto

@@ -1,0 +1,104 @@
+#include "crypto/shamir.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/serial.hpp"
+#include "crypto/gf256.hpp"
+
+namespace emergence::crypto {
+
+std::vector<Share> shamir_split(BytesView secret, std::size_t m, std::size_t n,
+                                Drbg& drbg) {
+  require(m >= 1, "shamir_split: threshold must be >= 1");
+  require(m <= n, "shamir_split: threshold exceeds share count");
+  require(n <= 255, "shamir_split: at most 255 shares");
+
+  std::vector<Share> shares(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shares[i].index = static_cast<std::uint8_t>(i + 1);
+    shares[i].data.resize(secret.size());
+  }
+
+  // coeffs[0] is the secret byte; coeffs[1..m-1] are random.
+  Bytes coeffs(m);
+  for (std::size_t byte = 0; byte < secret.size(); ++byte) {
+    coeffs[0] = secret[byte];
+    if (m > 1) drbg.fill(std::span<std::uint8_t>(coeffs.data() + 1, m - 1));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t x = shares[i].index;
+      // Horner evaluation of the polynomial at x.
+      std::uint8_t y = coeffs[m - 1];
+      for (std::size_t c = m - 1; c-- > 0;)
+        y = gf256::add(gf256::mul(y, x), coeffs[c]);
+      shares[i].data[byte] = y;
+    }
+  }
+  return shares;
+}
+
+Bytes shamir_combine(const std::vector<Share>& shares, std::size_t m) {
+  require(m >= 1, "shamir_combine: threshold must be >= 1");
+  if (shares.size() < m)
+    throw CryptoError("shamir_combine: not enough shares");
+
+  // Use the first m distinct-index shares.
+  std::vector<const Share*> chosen;
+  std::unordered_set<std::uint8_t> seen;
+  for (const Share& s : shares) {
+    if (s.index == 0) throw CryptoError("shamir_combine: invalid index 0");
+    if (!seen.insert(s.index).second)
+      throw CryptoError("shamir_combine: duplicate share index");
+    chosen.push_back(&s);
+    if (chosen.size() == m) break;
+  }
+  if (chosen.size() < m)
+    throw CryptoError("shamir_combine: not enough distinct shares");
+
+  const std::size_t len = chosen.front()->data.size();
+  for (const Share* s : chosen)
+    if (s->data.size() != len)
+      throw CryptoError("shamir_combine: share length mismatch");
+
+  // Lagrange basis at zero: L_j(0) = prod_{i != j} x_i / (x_i - x_j).
+  // In GF(2^8) subtraction is XOR.
+  std::vector<std::uint8_t> basis(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    std::uint8_t num = 1, den = 1;
+    const std::uint8_t xj = chosen[j]->index;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == j) continue;
+      const std::uint8_t xi = chosen[i]->index;
+      num = gf256::mul(num, xi);
+      den = gf256::mul(den, gf256::add(xi, xj));
+    }
+    basis[j] = gf256::div(num, den);
+  }
+
+  Bytes secret(len);
+  for (std::size_t byte = 0; byte < len; ++byte) {
+    std::uint8_t acc = 0;
+    for (std::size_t j = 0; j < m; ++j)
+      acc = gf256::add(acc, gf256::mul(basis[j], chosen[j]->data[byte]));
+    secret[byte] = acc;
+  }
+  return secret;
+}
+
+Bytes share_to_bytes(const Share& share) {
+  BinaryWriter w;
+  w.u8(share.index);
+  w.blob(share.data);
+  return w.take();
+}
+
+Share share_from_bytes(BytesView raw) {
+  BinaryReader r(raw);
+  Share s;
+  s.index = r.u8();
+  s.data = r.blob();
+  r.expect_done();
+  return s;
+}
+
+}  // namespace emergence::crypto

@@ -1,0 +1,44 @@
+// Shamir (m, n) threshold secret sharing over GF(2^8).
+//
+// The key-share routing scheme (paper §III-D) splits each onion-layer key
+// into n shares carried by the n holders of a path column; any m shares
+// reconstruct the key, and up to n-m shares may be lost to churn or dropped
+// by malicious holders without affecting reconstruction.
+//
+// Each byte of the secret is shared independently: a random degree-(m-1)
+// polynomial f with f(0) = secret_byte is sampled, and share i carries
+// f(x_i) for the nonzero evaluation point x_i = i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/drbg.hpp"
+
+namespace emergence::crypto {
+
+/// One Shamir share: the evaluation point (1-based, nonzero) and one byte of
+/// polynomial evaluation per secret byte.
+struct Share {
+  std::uint8_t index = 0;
+  Bytes data;
+
+  bool operator==(const Share&) const = default;
+};
+
+/// Splits `secret` into n shares, any m of which reconstruct it.
+/// Requires 1 <= m <= n <= 255.
+std::vector<Share> shamir_split(BytesView secret, std::size_t m, std::size_t n,
+                                Drbg& drbg);
+
+/// Reconstructs the secret from >= m distinct shares via Lagrange
+/// interpolation at zero. Throws CryptoError when fewer than m shares are
+/// supplied or when share indices repeat / lengths disagree.
+Bytes shamir_combine(const std::vector<Share>& shares, std::size_t m);
+
+/// Serialization helpers for placing shares inside onion layers.
+Bytes share_to_bytes(const Share& share);
+Share share_from_bytes(BytesView raw);
+
+}  // namespace emergence::crypto

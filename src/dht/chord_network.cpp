@@ -1,0 +1,280 @@
+#include "dht/chord_network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace emergence::dht {
+
+ChordNetwork::ChordNetwork(sim::Simulator& simulator, Rng& rng,
+                           NetworkConfig config)
+    : simulator_(simulator), rng_(rng), config_(config) {}
+
+NodeId ChordNetwork::fresh_node_id() {
+  // Hash a unique counter; collisions are astronomically unlikely but we
+  // re-draw on one anyway.
+  for (;;) {
+    const std::string name = "node-" + std::to_string(node_counter_++);
+    const NodeId id = NodeId::hash_of_text(name);
+    if (nodes_.find(id) == nodes_.end()) return id;
+  }
+}
+
+void ChordNetwork::register_alive(const NodeId& id) {
+  alive_index_[id] = alive_ids_.size();
+  alive_ids_.push_back(id);
+}
+
+void ChordNetwork::unregister_alive(const NodeId& id) {
+  auto it = alive_index_.find(id);
+  if (it == alive_index_.end()) return;
+  const std::size_t pos = it->second;
+  const NodeId last = alive_ids_.back();
+  alive_ids_[pos] = last;
+  alive_index_[last] = pos;
+  alive_ids_.pop_back();
+  alive_index_.erase(it);
+}
+
+void ChordNetwork::bootstrap(std::size_t count) {
+  require(count > 0, "ChordNetwork::bootstrap: need at least one node");
+  require(nodes_.empty(), "ChordNetwork::bootstrap: network already built");
+
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId id = fresh_node_id();
+    ids.push_back(id);
+    nodes_.emplace(id, std::make_unique<ChordNode>(
+                           *this, id, config_.successor_list_size));
+    register_alive(id);
+  }
+  std::sort(ids.begin(), ids.end());
+
+  // Wire exact ring pointers.
+  for (std::size_t i = 0; i < count; ++i) {
+    ChordNode& n = *nodes_.at(ids[i]);
+    std::vector<NodeId> succ;
+    for (std::size_t s = 1; s <= config_.successor_list_size && s < count; ++s)
+      succ.push_back(ids[(i + s) % count]);
+    if (succ.empty()) succ.push_back(ids[i]);
+    n.set_successor_list(std::move(succ));
+    n.set_predecessor(ids[(i + count - 1) % count]);
+  }
+
+  // Exact fingers via binary search over the sorted id list: the finger for
+  // start = id + 2^p is the first node id >= start (circularly).
+  for (std::size_t i = 0; i < count; ++i) {
+    ChordNode& n = *nodes_.at(ids[i]);
+    for (std::size_t p = 0; p < kIdBits; ++p) {
+      const NodeId start = ids[i].add_power_of_two(p);
+      auto it = std::lower_bound(ids.begin(), ids.end(), start);
+      const NodeId finger = (it == ids.end()) ? ids.front() : *it;
+      n.set_finger(p, finger);
+    }
+  }
+
+  if (config_.run_maintenance) {
+    for (const NodeId& id : ids) schedule_maintenance(id);
+  }
+}
+
+void ChordNetwork::schedule_maintenance(const NodeId& id) {
+  // Jitter the phase so maintenance does not run in lockstep.
+  const double phase = rng_.real() * config_.stabilize_interval;
+  simulator_.schedule_in(phase, [this, id]() {
+    ChordNode* n = live_node(id);
+    if (n == nullptr) return;
+    n->stabilize();
+    n->fix_fingers();
+    n->check_predecessor();
+    schedule_maintenance(id);  // re-arm
+  });
+  const double repair_phase = rng_.real() * config_.replica_repair_interval;
+  simulator_.schedule_in(repair_phase, [this, id]() {
+    ChordNode* n = live_node(id);
+    if (n == nullptr) return;
+    n->replica_maintenance(config_.replication_factor);
+  });
+}
+
+NodeId ChordNetwork::add_node() { return add_node_with_id(fresh_node_id()); }
+
+NodeId ChordNetwork::add_node_with_id(const NodeId& id) {
+  require(nodes_.find(id) == nodes_.end() ||
+              !nodes_.at(id)->alive(),
+          "ChordNetwork::add_node_with_id: id already in use");
+  auto node =
+      std::make_unique<ChordNode>(*this, id, config_.successor_list_size);
+  ChordNode* raw = node.get();
+  nodes_[id] = std::move(node);
+
+  if (alive_ids_.empty()) {
+    raw->create();
+  } else {
+    const NodeId bootstrap = alive_ids_[rng_.index(alive_ids_.size())];
+    raw->join(bootstrap);
+  }
+  register_alive(id);
+  raw->fix_all_fingers();
+  if (config_.run_maintenance) schedule_maintenance(id);
+  return id;
+}
+
+void ChordNetwork::kill_node(const NodeId& id) {
+  ChordNode* n = live_node(id);
+  if (n == nullptr) return;
+  n->fail();
+  unregister_alive(id);
+  handlers_.erase(id);
+}
+
+void ChordNetwork::remove_node(const NodeId& id) {
+  ChordNode* n = live_node(id);
+  if (n == nullptr) return;
+  n->leave();
+  unregister_alive(id);
+  handlers_.erase(id);
+}
+
+ChordNode* ChordNetwork::node(const NodeId& id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const ChordNode* ChordNetwork::node(const NodeId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+ChordNode* ChordNetwork::live_node(const NodeId& id) {
+  ChordNode* n = node(id);
+  return (n != nullptr && n->alive()) ? n : nullptr;
+}
+
+ChordNode& ChordNetwork::random_live_node() {
+  require(!alive_ids_.empty(), "ChordNetwork: no live nodes");
+  return *nodes_.at(alive_ids_[rng_.index(alive_ids_.size())]);
+}
+
+LookupResult ChordNetwork::lookup(const NodeId& key) {
+  const LookupResult result = random_live_node().find_successor(key);
+  ++lookup_stats_.lookups;
+  lookup_stats_.total_hops += static_cast<std::uint64_t>(result.hops);
+  if (!result.ok) ++lookup_stats_.failures;
+  return result;
+}
+
+bool ChordNetwork::put(const NodeId& key, Bytes value) {
+  const LookupResult result = lookup(key);
+  if (!result.ok) return false;
+  ChordNode* primary = live_node(result.node);
+  if (primary == nullptr) return false;
+  primary->store_local(key, value);
+
+  NodeId target = primary->successor();
+  for (std::size_t copy = 1; copy < config_.replication_factor; ++copy) {
+    ChordNode* t = live_node(target);
+    if (t == nullptr || t == primary) break;
+    t->store_local(key, value);
+    target = t->successor();
+  }
+  return true;
+}
+
+std::optional<Bytes> ChordNetwork::get(const NodeId& key) {
+  const LookupResult result = lookup(key);
+  if (!result.ok) return std::nullopt;
+  ChordNode* primary = live_node(result.node);
+  if (primary != nullptr) {
+    auto value = primary->storage().get(key);
+    if (value.has_value()) return value;
+    // Fall back to replicas along the successor chain.
+    NodeId target = primary->successor();
+    for (std::size_t copy = 1; copy < config_.replication_factor; ++copy) {
+      ChordNode* t = live_node(target);
+      if (t == nullptr || t == primary) break;
+      auto replica = t->storage().get(key);
+      if (replica.has_value()) return replica;
+      target = t->successor();
+    }
+  }
+  return std::nullopt;
+}
+
+bool ChordNetwork::store_on(const NodeId& id, const NodeId& key, Bytes value) {
+  ChordNode* n = live_node(id);
+  if (n == nullptr) return false;
+  n->store_local(key, std::move(value));
+  return true;
+}
+
+std::optional<Bytes> ChordNetwork::load_from(const NodeId& id,
+                                             const NodeId& key) {
+  ChordNode* n = live_node(id);
+  if (n == nullptr) return std::nullopt;
+  return n->storage().get(key);
+}
+
+void ChordNetwork::set_message_handler(const NodeId& node_id,
+                                       MessageHandler handler) {
+  handlers_[node_id] = std::move(handler);
+}
+
+void ChordNetwork::send_message(const NodeId& from, const NodeId& to,
+                                Bytes payload) {
+  const double latency =
+      config_.min_message_latency +
+      rng_.real() * (config_.max_message_latency - config_.min_message_latency);
+  simulator_.schedule_in(latency, [this, from, to,
+                                   payload = std::move(payload)]() {
+    ChordNode* dest = live_node(to);
+    if (dest == nullptr) return;  // message to a dead node is lost
+    auto it = handlers_.find(to);
+    if (it != handlers_.end()) {
+      it->second(from, to, payload);
+    } else if (default_handler_) {
+      default_handler_(from, to, payload);
+    }
+  });
+}
+
+void ChordNetwork::send_message_routed(const NodeId& from,
+                                       const NodeId& ring_point,
+                                       Bytes payload) {
+  const double latency =
+      config_.min_message_latency +
+      rng_.real() * (config_.max_message_latency - config_.min_message_latency);
+  simulator_.schedule_in(latency, [this, from, ring_point,
+                                   payload = std::move(payload)]() {
+    const LookupResult result = lookup(ring_point);
+    if (!result.ok) return;
+    ChordNode* dest = live_node(result.node);
+    if (dest == nullptr) return;
+    auto it = handlers_.find(result.node);
+    if (it != handlers_.end()) {
+      it->second(from, result.node, payload);
+    } else if (default_handler_) {
+      default_handler_(from, result.node, payload);
+    }
+  });
+}
+
+void ChordNetwork::run_maintenance_round() {
+  // Snapshot ids: maintenance can change the alive set.
+  const std::vector<NodeId> ids = alive_ids_;
+  for (const NodeId& id : ids) {
+    ChordNode* n = live_node(id);
+    if (n == nullptr) continue;
+    n->stabilize();
+    n->check_predecessor();
+  }
+  for (const NodeId& id : ids) {
+    ChordNode* n = live_node(id);
+    if (n == nullptr) continue;
+    n->fix_all_fingers();
+    n->replica_maintenance(config_.replication_factor);
+  }
+}
+
+}  // namespace emergence::dht

@@ -1,0 +1,172 @@
+// The simulated Chord network: owns nodes, runs maintenance, routes
+// application messages, and exposes put/get with replication.
+//
+// The network plays the role Overlay Weaver played for the paper: a test
+// harness that can instantiate thousands of node instances in one process.
+// RPCs between nodes are direct calls guarded by liveness checks (a dead
+// callee behaves like a timeout); application-level messages travel through
+// the discrete-event simulator with a configurable latency model so that
+// protocol timing (holding periods, release times) is meaningful.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dht/chord_node.hpp"
+#include "dht/network.hpp"
+#include "dht/node_id.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::dht {
+
+/// Tuning knobs for the simulated network.
+struct NetworkConfig {
+  std::size_t successor_list_size = 8;
+  std::size_t replication_factor = 3;
+  double stabilize_interval = 30.0;          ///< seconds of virtual time
+  double replica_repair_interval = 120.0;    ///< seconds of virtual time
+  double min_message_latency = 0.010;        ///< seconds
+  double max_message_latency = 0.100;        ///< seconds
+  bool run_maintenance = true;  ///< schedule periodic stabilization tasks
+};
+
+/// Aggregate lookup statistics (hop counts feed the micro benchmarks).
+struct LookupStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t failures = 0;
+
+  double mean_hops() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(total_hops) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// The in-process Chord DHT.
+class ChordNetwork final : public Network {
+ public:
+  ChordNetwork(sim::Simulator& simulator, Rng& rng, NetworkConfig config = {});
+
+  // -- topology --------------------------------------------------------------
+
+  /// Creates `count` nodes with ids hash("node-<i>") and wires a correct ring
+  /// (sorted successors, exact fingers). Equivalent to letting join/stabilize
+  /// converge, but O(n log n); maintenance keeps it correct afterwards.
+  void bootstrap(std::size_t count);
+
+  /// Adds one node via the Chord join protocol. Returns its id.
+  NodeId add_node();
+  NodeId add_node_with_id(const NodeId& id);
+
+  /// Abrupt failure (data on the node is lost).
+  void kill_node(const NodeId& id);
+
+  /// Graceful departure (data handed off first).
+  void remove_node(const NodeId& id);
+
+  std::size_t alive_count() const override { return alive_ids_.size(); }
+  std::size_t total_count() const { return nodes_.size(); }
+  const std::vector<NodeId>& alive_ids() const { return alive_ids_; }
+
+  ChordNode* node(const NodeId& id);
+  const ChordNode* node(const NodeId& id) const;
+  /// Node if it exists and is alive, else nullptr (RPC liveness guard).
+  ChordNode* live_node(const NodeId& id);
+
+  /// Uniformly random live node (entry point for lookups).
+  ChordNode& random_live_node();
+
+  // -- lookup / storage ------------------------------------------------------
+
+  /// Iterative lookup from a random live entry point.
+  LookupResult lookup(const NodeId& key) override;
+
+  /// Stores `value` on the responsible node and its replicas.
+  bool put(const NodeId& key, Bytes value) override;
+
+  /// Fetches from the responsible node, falling back to replicas.
+  std::optional<Bytes> get(const NodeId& key) override;
+
+  // -- node-addressed storage --------------------------------------------------
+
+  bool is_alive(const NodeId& id) const override {
+    const ChordNode* n = node(id);
+    return n != nullptr && n->alive();
+  }
+  bool store_on(const NodeId& id, const NodeId& key, Bytes value) override;
+  std::optional<Bytes> load_from(const NodeId& id, const NodeId& key) override;
+
+  // -- application messaging -------------------------------------------------
+
+  /// Registers the handler invoked when messages arrive at `node_id`.
+  void set_message_handler(const NodeId& node_id,
+                           MessageHandler handler) override;
+
+  /// Fallback handler for nodes without a specific one; routed messages to
+  /// churn replacements land here.
+  void set_default_message_handler(MessageHandler handler) override {
+    default_handler_ = std::move(handler);
+  }
+  const MessageHandler& default_message_handler() const override {
+    return default_handler_;
+  }
+
+  /// Sends an application payload; it is delivered after a sampled latency
+  /// if (and only if) the destination is alive at delivery time.
+  void send_message(const NodeId& from, const NodeId& to,
+                    Bytes payload) override;
+
+  /// Sends a payload to *whichever node is responsible for `ring_point` at
+  /// delivery time* (a fresh lookup runs then). This is how the protocol
+  /// layer addresses holders: a holder that died re-resolves to its
+  /// successor, exactly like a DHT put/get would.
+  void send_message_routed(const NodeId& from, const NodeId& ring_point,
+                           Bytes payload) override;
+
+  /// Observer for every local store (see StoreObserver).
+  void set_store_observer(StoreObserver observer) override {
+    store_observer_ = std::move(observer);
+  }
+  const StoreObserver& store_observer() const override {
+    return store_observer_;
+  }
+
+  // -- environment -----------------------------------------------------------
+
+  sim::Simulator& simulator() override { return simulator_; }
+  Rng& rng() override { return rng_; }
+  double max_message_latency() const override {
+    return config_.max_message_latency;
+  }
+  const NetworkConfig& config() const { return config_; }
+  LookupStats& lookup_stats() { return lookup_stats_; }
+
+  /// Runs one maintenance round on every live node right now (tests use this
+  /// instead of waiting for periodic timers).
+  void run_maintenance_round();
+
+ private:
+  void schedule_maintenance(const NodeId& id);
+  NodeId fresh_node_id();
+  void register_alive(const NodeId& id);
+  void unregister_alive(const NodeId& id);
+
+  sim::Simulator& simulator_;
+  Rng& rng_;
+  NetworkConfig config_;
+
+  std::unordered_map<NodeId, std::unique_ptr<ChordNode>, NodeIdHash> nodes_;
+  std::vector<NodeId> alive_ids_;
+  std::unordered_map<NodeId, std::size_t, NodeIdHash> alive_index_;
+  std::unordered_map<NodeId, MessageHandler, NodeIdHash> handlers_;
+  MessageHandler default_handler_;
+  StoreObserver store_observer_;
+  LookupStats lookup_stats_;
+  std::uint64_t node_counter_ = 0;
+};
+
+}  // namespace emergence::dht

@@ -1,0 +1,243 @@
+#include "dht/chord_node.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dht/chord_network.hpp"
+
+namespace emergence::dht {
+
+ChordNode::ChordNode(ChordNetwork& network, NodeId id,
+                     std::size_t successor_list_size)
+    : network_(network),
+      id_(id),
+      successor_list_size_(successor_list_size),
+      fingers_(kIdBits) {}
+
+NodeId ChordNode::successor() const {
+  for (const NodeId& s : successors_) {
+    const ChordNode* n = network_.node(s);
+    if (n != nullptr && n->alive()) return s;
+  }
+  return id_;
+}
+
+bool ChordNode::responsible_for(const NodeId& key) const {
+  if (!predecessor_.has_value()) return true;  // alone or still joining
+  return in_half_open_interval(key, *predecessor_, id_);
+}
+
+void ChordNode::create() {
+  predecessor_.reset();
+  successors_.clear();
+  successors_.push_back(id_);
+}
+
+void ChordNode::join(const NodeId& bootstrap) {
+  ChordNode* entry = network_.live_node(bootstrap);
+  require(entry != nullptr, "ChordNode::join: bootstrap node is dead");
+  predecessor_.reset();
+  const LookupResult result = entry->find_successor(id_);
+  require(result.ok, "ChordNode::join: lookup failed");
+  successors_.clear();
+  successors_.push_back(result.node);
+
+  // Pull the keys this node is now responsible for from its successor.
+  ChordNode* succ = network_.live_node(result.node);
+  if (succ != nullptr && succ != this) {
+    const std::optional<NodeId> succ_pred = succ->predecessor();
+    const NodeId lower = succ_pred.value_or(result.node);
+    for (const NodeId& key : succ->storage().keys_in_range(lower, id_)) {
+      auto value = succ->storage().get(key);
+      if (value.has_value()) store_local(key, std::move(*value));
+    }
+    succ->notify(id_);
+  }
+}
+
+void ChordNode::leave() {
+  if (!alive_) return;
+  // Hand all keys to the live successor before departing.
+  ChordNode* succ = network_.live_node(successor());
+  if (succ != nullptr && succ != this) {
+    for (const NodeId& key : storage_.all_keys()) {
+      auto value = storage_.get(key);
+      if (value.has_value()) succ->store_local(key, std::move(*value));
+    }
+    if (predecessor_.has_value()) succ->set_predecessor(predecessor_);
+  }
+  alive_ = false;
+  storage_.clear();
+}
+
+void ChordNode::fail() {
+  alive_ = false;
+  storage_.clear();
+  predecessor_.reset();
+}
+
+void ChordNode::prune_dead_successors() {
+  std::erase_if(successors_, [this](const NodeId& s) {
+    const ChordNode* n = network_.node(s);
+    return n == nullptr || !n->alive();
+  });
+}
+
+void ChordNode::stabilize() {
+  if (!alive_) return;
+  prune_dead_successors();
+  if (successors_.empty()) successors_.push_back(id_);
+
+  const NodeId succ_id = successor();
+  ChordNode* succ = network_.live_node(succ_id);
+  if (succ == nullptr) return;
+
+  // Adopt a node that slid between us and our successor.
+  const std::optional<NodeId> x = succ->predecessor();
+  if (x.has_value() && *x != id_ && in_open_interval(*x, id_, succ_id)) {
+    const ChordNode* candidate = network_.live_node(*x);
+    if (candidate != nullptr) {
+      successors_.insert(successors_.begin(), *x);
+      succ = network_.live_node(successor());
+      if (succ == nullptr) return;
+    }
+  }
+
+  // Refresh the successor list from the successor's list.
+  std::vector<NodeId> fresh;
+  fresh.push_back(successor());
+  for (const NodeId& s : succ->successor_list()) {
+    if (s == id_) continue;
+    if (std::find(fresh.begin(), fresh.end(), s) != fresh.end()) continue;
+    fresh.push_back(s);
+    if (fresh.size() >= successor_list_size_) break;
+  }
+  successors_ = std::move(fresh);
+
+  ChordNode* first = network_.live_node(successor());
+  if (first != nullptr && first != this) first->notify(id_);
+}
+
+void ChordNode::notify(const NodeId& candidate) {
+  if (!alive_) return;
+  if (candidate == id_) return;
+  const ChordNode* cand = network_.live_node(candidate);
+  if (cand == nullptr) return;
+  if (!predecessor_.has_value() ||
+      in_open_interval(candidate, *predecessor_, id_) ||
+      network_.live_node(*predecessor_) == nullptr) {
+    predecessor_ = candidate;
+  }
+}
+
+void ChordNode::fix_fingers() {
+  if (!alive_) return;
+  const NodeId target = id_.add_power_of_two(next_finger_);
+  const LookupResult result = find_successor(target);
+  if (result.ok) fingers_[next_finger_] = result.node;
+  next_finger_ = (next_finger_ + 1) % kIdBits;
+}
+
+void ChordNode::fix_all_fingers() {
+  for (std::size_t i = 0; i < kIdBits; ++i) {
+    const LookupResult result = find_successor(id_.add_power_of_two(i));
+    if (result.ok) fingers_[i] = result.node;
+  }
+}
+
+void ChordNode::check_predecessor() {
+  if (!alive_) return;
+  if (predecessor_.has_value() &&
+      network_.live_node(*predecessor_) == nullptr) {
+    predecessor_.reset();
+  }
+}
+
+void ChordNode::replica_maintenance(std::size_t replication_factor) {
+  if (!alive_) return;
+  if (storage_.size() == 0) return;
+  // Push every key we hold to the nodes that should replicate it: the
+  // responsible node and its replication_factor-1 successors.
+  for (const NodeId& key : storage_.all_keys()) {
+    const LookupResult result = find_successor(key);
+    if (!result.ok) continue;
+    auto value = storage_.get(key);
+    if (!value.has_value()) continue;
+
+    NodeId target = result.node;
+    for (std::size_t copy = 0; copy < replication_factor; ++copy) {
+      ChordNode* t = network_.live_node(target);
+      if (t == nullptr) break;
+      if (t != this && !t->storage().contains(key)) {
+        t->store_local(key, *value);
+      }
+      target = t->successor();
+      if (target == t->id()) break;  // ring collapsed to one node
+    }
+  }
+}
+
+LookupResult ChordNode::find_successor(const NodeId& key) const {
+  LookupResult result;
+  const ChordNode* current = this;
+  // A correct lookup takes O(log n) hops; the cap catches routing loops in
+  // heavily churned rings.
+  const int max_hops = static_cast<int>(kIdBits) + 16;
+  for (int hop = 0; hop < max_hops; ++hop) {
+    const NodeId succ = current->successor();
+    if (succ == current->id() ||
+        in_half_open_interval(key, current->id(), succ)) {
+      result.node = succ;
+      result.hops = hop;
+      return result;
+    }
+    const NodeId next = current->closest_preceding_node(key);
+    if (next == current->id()) {
+      // No finger advances us: fall through to the successor.
+      const ChordNode* succ_node = network_.node(succ);
+      if (succ_node == nullptr || !succ_node->alive()) break;
+      current = succ_node;
+      continue;
+    }
+    const ChordNode* next_node = network_.node(next);
+    if (next_node == nullptr || !next_node->alive()) break;
+    current = next_node;
+  }
+  result.ok = false;
+  result.node = id_;
+  return result;
+}
+
+NodeId ChordNode::closest_preceding_node(const NodeId& key) const {
+  // Scan fingers from farthest to nearest for a live node in (id_, key).
+  for (std::size_t i = kIdBits; i-- > 0;) {
+    if (!fingers_[i].has_value()) continue;
+    const NodeId& f = *fingers_[i];
+    if (!in_open_interval(f, id_, key)) continue;
+    const ChordNode* n = network_.node(f);
+    if (n != nullptr && n->alive()) return f;
+  }
+  // Successor list can still make progress when fingers are stale.
+  for (std::size_t i = successors_.size(); i-- > 0;) {
+    const NodeId& s = successors_[i];
+    if (!in_open_interval(s, id_, key)) continue;
+    const ChordNode* n = network_.node(s);
+    if (n != nullptr && n->alive()) return s;
+  }
+  return id_;
+}
+
+void ChordNode::store_local(const NodeId& key, Bytes value) {
+  require(alive_, "ChordNode::store_local on a dead node");
+  storage_.put(key, value, network_.simulator().now());
+  if (network_.store_observer()) {
+    network_.store_observer()(id_, key, value);
+  }
+}
+
+void ChordNode::set_successor_list(std::vector<NodeId> successors) {
+  successors_ = std::move(successors);
+  if (successors_.empty()) successors_.push_back(id_);
+}
+
+}  // namespace emergence::dht

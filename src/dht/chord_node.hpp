@@ -1,0 +1,114 @@
+// One Chord node: ring state, finger table, iterative lookup, storage.
+//
+// Follows Stoica et al., "Chord: A scalable peer-to-peer lookup service for
+// internet applications" (SIGCOMM 2001): each node keeps a successor list
+// (robustness to failures), a predecessor pointer and a 160-entry finger
+// table; lookups walk closest-preceding fingers until the key falls between
+// a node and its successor. Maintenance (stabilize / fix-fingers /
+// check-predecessor / replica repair) runs as periodic simulator events
+// scheduled by ChordNetwork.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dht/network.hpp"
+#include "dht/node_id.hpp"
+#include "dht/storage.hpp"
+
+namespace emergence::dht {
+
+class ChordNetwork;
+
+/// A single DHT participant.
+class ChordNode {
+ public:
+  ChordNode(ChordNetwork& network, NodeId id, std::size_t successor_list_size);
+
+  const NodeId& id() const { return id_; }
+  bool alive() const { return alive_; }
+
+  // -- ring pointers ---------------------------------------------------------
+
+  /// First live successor (self when the node is alone).
+  NodeId successor() const;
+  const std::vector<NodeId>& successor_list() const { return successors_; }
+  std::optional<NodeId> predecessor() const { return predecessor_; }
+
+  /// True when this node is responsible for `key`
+  /// (key in (predecessor, self]).
+  bool responsible_for(const NodeId& key) const;
+
+  // -- protocol --------------------------------------------------------------
+
+  /// Bootstraps a one-node ring.
+  void create();
+
+  /// Joins via any live node; acquires successor and pulls keys it now owns.
+  void join(const NodeId& bootstrap);
+
+  /// Graceful leave: hands keys to the successor and detaches.
+  void leave();
+
+  /// Abrupt death (churn): state is lost, peers discover via timeouts.
+  void fail();
+
+  /// Periodic: verify successor, adopt a closer one, refresh successor list.
+  void stabilize();
+
+  /// Remote call: `candidate` believes it may be our predecessor.
+  void notify(const NodeId& candidate);
+
+  /// Periodic: refreshes one finger per call, round-robin.
+  void fix_fingers();
+
+  /// Refreshes every finger (used after bulk bootstrap).
+  void fix_all_fingers();
+
+  /// Periodic: clears the predecessor if it died.
+  void check_predecessor();
+
+  /// Periodic: pushes each stored key to the current replica set so that
+  /// `replication_factor` copies survive churn.
+  void replica_maintenance(std::size_t replication_factor);
+
+  /// Iterative lookup starting at this node.
+  LookupResult find_successor(const NodeId& key) const;
+
+  /// Closest finger/successor strictly between this node and `key`.
+  NodeId closest_preceding_node(const NodeId& key) const;
+
+  // -- storage ---------------------------------------------------------------
+
+  Storage& storage() { return storage_; }
+  const Storage& storage() const { return storage_; }
+
+  /// Stores locally and fires the network's on_store observer.
+  void store_local(const NodeId& key, Bytes value);
+
+  // -- internals exposed for ChordNetwork / tests ----------------------------
+
+  void set_successor_list(std::vector<NodeId> successors);
+  void set_predecessor(std::optional<NodeId> pred) { predecessor_ = pred; }
+  void set_finger(std::size_t i, const NodeId& id) { fingers_[i] = id; }
+  const std::vector<std::optional<NodeId>>& fingers() const { return fingers_; }
+  void mark_alive(bool alive) { alive_ = alive; }
+
+ private:
+  void prune_dead_successors();
+
+  ChordNetwork& network_;
+  NodeId id_;
+  bool alive_ = true;
+
+  std::optional<NodeId> predecessor_;
+  std::vector<NodeId> successors_;  // ordered, nearest first
+  std::size_t successor_list_size_;
+  std::vector<std::optional<NodeId>> fingers_;
+  std::size_t next_finger_ = 0;
+
+  Storage storage_;
+};
+
+}  // namespace emergence::dht

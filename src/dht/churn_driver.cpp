@@ -1,0 +1,55 @@
+#include "dht/churn_driver.hpp"
+
+namespace emergence::dht {
+
+ChurnDriver::ChurnDriver(ChordNetwork& network, ChurnConfig config)
+    : network_(network), config_(config) {}
+
+void ChurnDriver::start() {
+  running_ = true;
+  // Residual lifetime of a node already in the network is again Exp(λ)
+  // (memorylessness), so sampling fresh lifetimes at start is exact.
+  for (const NodeId& id : network_.alive_ids()) schedule_outage(id);
+}
+
+void ChurnDriver::schedule_outage(const NodeId& id) {
+  const double lifetime = network_.rng().exponential(config_.mean_lifetime);
+  network_.simulator().schedule_in(lifetime, [this, id]() {
+    if (!running_) return;
+    handle_outage(id);
+  });
+}
+
+void ChurnDriver::handle_outage(const NodeId& id) {
+  ChordNode* n = network_.live_node(id);
+  if (n == nullptr) return;  // already gone
+
+  const bool transient = network_.rng().chance(config_.transient_fraction);
+  if (transient) {
+    ++transients_;
+    network_.kill_node(id);
+    const double downtime = network_.rng().exponential(config_.mean_downtime);
+    // The rejoin happens even after stop(): stopping ends *new* churn, it
+    // does not strand nodes that were mid-outage.
+    network_.simulator().schedule_in(downtime, [this, id]() {
+      if (network_.alive_count() == 0) return;
+      network_.add_node_with_id(id);
+      if (running_) schedule_outage(id);
+    });
+    return;
+  }
+
+  ++deaths_;
+  network_.kill_node(id);
+
+  if (config_.replace_dead_nodes && network_.alive_count() > 0) {
+    const NodeId replacement = network_.add_node();
+    ++replacements_;
+    schedule_outage(replacement);
+    if (on_death) on_death(id, &replacement);
+  } else {
+    if (on_death) on_death(id, nullptr);
+  }
+}
+
+}  // namespace emergence::dht

@@ -1,0 +1,62 @@
+// Churn generation for the simulated DHT.
+//
+// Implements the paper's churn model: node lifetimes are exponentially
+// distributed with mean `mean_lifetime` (Bhagwan et al.'s decay model,
+// pdead = 1 - e^{-t/λ}). When a node dies the driver can optionally inject a
+// replacement join, keeping the population size stationary the way a public
+// DHT's arrival process does. Transient unavailability (leave-and-rejoin
+// without data loss) is also supported; the paper mentions it as the
+// short-term face of churn but evaluates death only, so it defaults off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dht/chord_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::dht {
+
+/// Configuration of the churn process.
+struct ChurnConfig {
+  double mean_lifetime = 3600.0;   ///< λ, seconds of virtual time
+  bool replace_dead_nodes = true;  ///< keep population size stationary
+  /// Probability that an outage is transient (node comes back with the same
+  /// id after `mean_downtime`) rather than a death. 0 reproduces the paper.
+  double transient_fraction = 0.0;
+  double mean_downtime = 120.0;  ///< seconds, for transient outages
+};
+
+/// Drives exponential node churn over a ChordNetwork.
+class ChurnDriver {
+ public:
+  ChurnDriver(ChordNetwork& network, ChurnConfig config);
+
+  /// Samples a residual lifetime for every live node and schedules its
+  /// first outage. Call once after the network is bootstrapped.
+  void start();
+
+  /// Stops injecting new churn events (pending ones become no-ops).
+  void stop() { running_ = false; }
+
+  std::uint64_t deaths() const { return deaths_; }
+  std::uint64_t transient_outages() const { return transients_; }
+  std::uint64_t replacements() const { return replacements_; }
+
+  /// Observer invoked as (dead_node, replacement_or_nullptr-id) when a death
+  /// is processed; the experiment layer hooks exposure tracking here.
+  std::function<void(const NodeId& dead, const NodeId* replacement)> on_death;
+
+ private:
+  void schedule_outage(const NodeId& id);
+  void handle_outage(const NodeId& id);
+
+  ChordNetwork& network_;
+  ChurnConfig config_;
+  bool running_ = false;
+  std::uint64_t deaths_ = 0;
+  std::uint64_t transients_ = 0;
+  std::uint64_t replacements_ = 0;
+};
+
+}  // namespace emergence::dht

@@ -1,0 +1,399 @@
+#include "dht/kademlia.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace emergence::dht {
+
+bool xor_closer(const NodeId& a, const NodeId& b, const NodeId& target) {
+  // Compare a^target and b^target lexicographically (big-endian ids make
+  // that the unsigned-integer comparison).
+  const auto& ab = a.bytes();
+  const auto& bb = b.bytes();
+  const auto& tb = target.bytes();
+  for (std::size_t i = 0; i < kIdBytes; ++i) {
+    const std::uint8_t da = ab[i] ^ tb[i];
+    const std::uint8_t db = bb[i] ^ tb[i];
+    if (da != db) return da < db;
+  }
+  return false;
+}
+
+std::size_t bucket_index(const NodeId& a, const NodeId& b) {
+  const auto& ab = a.bytes();
+  const auto& bb = b.bytes();
+  for (std::size_t i = 0; i < kIdBytes; ++i) {
+    const std::uint8_t x = ab[i] ^ bb[i];
+    if (x != 0) {
+      // Highest set bit of x within this byte.
+      int bit = 7;
+      while (((x >> bit) & 1) == 0) --bit;
+      return (kIdBytes - 1 - i) * 8 + static_cast<std::size_t>(bit);
+    }
+  }
+  throw PreconditionError("bucket_index: identical ids");
+}
+
+void KademliaNode::observe_contact(const NodeId& contact,
+                                   std::size_t bucket_size) {
+  if (contact == id_) return;
+  auto& bucket = buckets_[bucket_index(id_, contact)];
+  if (std::find(bucket.begin(), bucket.end(), contact) != bucket.end()) return;
+  if (bucket.size() >= bucket_size) return;  // bucket full: reject newcomer
+  bucket.push_back(contact);
+}
+
+void KademliaNode::drop_contact(const NodeId& contact) {
+  if (contact == id_) return;
+  auto& bucket = buckets_[bucket_index(id_, contact)];
+  std::erase(bucket, contact);
+}
+
+std::vector<NodeId> KademliaNode::closest_contacts(const NodeId& target,
+                                                   std::size_t count) const {
+  std::vector<NodeId> all;
+  for (const auto& bucket : buckets_)
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  all.push_back(id_);
+  std::sort(all.begin(), all.end(), [&](const NodeId& a, const NodeId& b) {
+    return xor_closer(a, b, target);
+  });
+  if (all.size() > count) all.resize(count);
+  return all;
+}
+
+std::size_t KademliaNode::contact_count() const {
+  std::size_t total = 0;
+  for (const auto& bucket : buckets_) total += bucket.size();
+  return total;
+}
+
+KademliaNetwork::KademliaNetwork(sim::Simulator& simulator, Rng& rng,
+                                 KademliaConfig config)
+    : simulator_(simulator), rng_(rng), config_(config) {}
+
+NodeId KademliaNetwork::fresh_node_id() {
+  for (;;) {
+    const std::string name = "kad-node-" + std::to_string(node_counter_++);
+    const NodeId id = NodeId::hash_of_text(name);
+    if (nodes_.find(id) == nodes_.end()) return id;
+  }
+}
+
+void KademliaNetwork::register_alive(const NodeId& id) {
+  alive_index_[id] = alive_ids_.size();
+  alive_ids_.push_back(id);
+}
+
+void KademliaNetwork::unregister_alive(const NodeId& id) {
+  auto it = alive_index_.find(id);
+  if (it == alive_index_.end()) return;
+  const std::size_t pos = it->second;
+  const NodeId last = alive_ids_.back();
+  alive_ids_[pos] = last;
+  alive_index_[last] = pos;
+  alive_ids_.pop_back();
+  alive_index_.erase(it);
+}
+
+void KademliaNetwork::bootstrap(std::size_t count) {
+  require(count > 0, "KademliaNetwork::bootstrap: need at least one node");
+  require(nodes_.empty(), "KademliaNetwork::bootstrap: already built");
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId id = fresh_node_id();
+    ids.push_back(id);
+    nodes_.emplace(id,
+                   std::make_unique<KademliaNode>(id, kIdBits));
+    register_alive(id);
+  }
+  // Exact bucket population: for every node, sort all peers by XOR distance
+  // and feed them bucket by bucket until each bucket holds up to k.
+  for (const NodeId& id : ids) {
+    KademliaNode& n = *nodes_.at(id);
+    for (const NodeId& peer : ids) {
+      if (peer != id) n.observe_contact(peer, config_.bucket_size);
+    }
+  }
+  if (config_.run_maintenance) schedule_republish();
+}
+
+NodeId KademliaNetwork::add_node() {
+  const NodeId id = fresh_node_id();
+  nodes_.emplace(id, std::make_unique<KademliaNode>(id, kIdBits));
+  KademliaNode& fresh = *nodes_.at(id);
+  if (!alive_ids_.empty()) {
+    // Learn the bootstrap contact, then run a self-lookup: every node on
+    // the query path becomes a contact (and learns us).
+    const NodeId bootstrap = alive_ids_[rng_.index(alive_ids_.size())];
+    fresh.observe_contact(bootstrap, config_.bucket_size);
+    register_alive(id);
+    // Self-lookup from the fresh node: every queried node learns about it,
+    // which populates the routing tables around its own id.
+    const LookupResult self_lookup = iterative_find_from(fresh, id);
+    (void)self_lookup;
+  } else {
+    register_alive(id);
+  }
+  return id;
+}
+
+void KademliaNetwork::kill_node(const NodeId& id) {
+  KademliaNode* n = live_node(id);
+  if (n == nullptr) return;
+  n->mark_alive(false);
+  n->storage().clear();
+  unregister_alive(id);
+  handlers_.erase(id);
+}
+
+KademliaNode* KademliaNetwork::node(const NodeId& id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const KademliaNode* KademliaNetwork::node(const NodeId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+KademliaNode* KademliaNetwork::live_node(const NodeId& id) {
+  KademliaNode* n = node(id);
+  return (n != nullptr && n->alive()) ? n : nullptr;
+}
+
+NodeId KademliaNetwork::closest_alive_brute_force(const NodeId& key) const {
+  require(!alive_ids_.empty(), "KademliaNetwork: no live nodes");
+  NodeId best = alive_ids_.front();
+  for (const NodeId& id : alive_ids_) {
+    if (xor_closer(id, best, key)) best = id;
+  }
+  return best;
+}
+
+LookupResult KademliaNetwork::iterative_find(const NodeId& key) {
+  LookupResult result;
+  if (alive_ids_.empty()) {
+    result.ok = false;
+    return result;
+  }
+  KademliaNode& origin =
+      *nodes_.at(alive_ids_[rng_.index(alive_ids_.size())]);
+  return iterative_find_from(origin, key);
+}
+
+LookupResult KademliaNetwork::iterative_find_from(KademliaNode& origin,
+                                                  const NodeId& key) {
+  LookupResult result;
+  // Shortlist of closest known contacts, queried nearest-first. The origin
+  // never queries itself (but may legitimately be the result).
+  std::vector<NodeId> shortlist =
+      origin.closest_contacts(key, config_.bucket_size);
+  std::unordered_map<NodeId, bool, NodeIdHash> queried;
+  queried[origin.id()] = true;
+  int hops = 0;
+
+  auto sort_shortlist = [&]() {
+    std::sort(shortlist.begin(), shortlist.end(),
+              [&](const NodeId& a, const NodeId& b) {
+                return xor_closer(a, b, key);
+              });
+    if (shortlist.size() > config_.bucket_size)
+      shortlist.resize(config_.bucket_size);
+  };
+  sort_shortlist();
+
+  const int max_hops = static_cast<int>(kIdBits);
+  for (int round = 0; round < max_hops; ++round) {
+    // Convergence: when the closest live shortlist entry (other than the
+    // origin, which answers no queries) has already been queried, no closer
+    // node exists among anyone we could still ask.
+    std::erase_if(shortlist, [&](const NodeId& candidate) {
+      return node(candidate) != nullptr && !node(candidate)->alive();
+    });
+    const auto first_peer =
+        std::find_if(shortlist.begin(), shortlist.end(),
+                     [&](const NodeId& c) { return c != origin.id(); });
+    if (first_peer != shortlist.end() && queried[*first_peer]) break;
+
+    // Query the closest unqueried live candidate.
+    KademliaNode* target = nullptr;
+    for (const NodeId& candidate : shortlist) {
+      if (queried[candidate]) continue;
+      queried[candidate] = true;
+      KademliaNode* n = live_node(candidate);
+      if (n == nullptr) {
+        origin.drop_contact(candidate);
+        continue;
+      }
+      target = n;
+      break;
+    }
+    if (target == nullptr) break;  // shortlist exhausted
+    ++hops;
+
+    // The queried node returns its closest contacts and learns about us.
+    target->observe_contact(origin.id(), config_.bucket_size);
+    const std::vector<NodeId> contacts =
+        target->closest_contacts(key, config_.bucket_size);
+    bool improved = false;
+    for (const NodeId& c : contacts) {
+      if (std::find(shortlist.begin(), shortlist.end(), c) ==
+          shortlist.end()) {
+        shortlist.push_back(c);
+        improved = true;
+      }
+      origin.observe_contact(c, config_.bucket_size);
+    }
+    if (improved) sort_shortlist();
+  }
+
+  // The result is the closest live entry of the final shortlist.
+  for (const NodeId& candidate : shortlist) {
+    if (live_node(candidate) != nullptr) {
+      result.node = candidate;
+      result.hops = hops;
+      ++lookups_;
+      total_hops_ += static_cast<std::uint64_t>(hops);
+      return result;
+    }
+  }
+  result.ok = false;
+  return result;
+}
+
+LookupResult KademliaNetwork::lookup(const NodeId& key) {
+  return iterative_find(key);
+}
+
+bool KademliaNetwork::put(const NodeId& key, Bytes value) {
+  const LookupResult result = lookup(key);
+  if (!result.ok) return false;
+  // Replicate to the replication_factor closest live nodes around the key.
+  KademliaNode* owner = live_node(result.node);
+  if (owner == nullptr) return false;
+  std::vector<NodeId> replicas =
+      owner->closest_contacts(key, config_.bucket_size);
+  std::size_t stored = 0;
+  for (const NodeId& id : replicas) {
+    KademliaNode* n = live_node(id);
+    if (n == nullptr) continue;
+    n->storage().put(key, value, simulator_.now());
+    if (store_observer_) store_observer_(id, key, value);
+    if (++stored >= config_.replication_factor) break;
+  }
+  return stored > 0;
+}
+
+std::optional<Bytes> KademliaNetwork::get(const NodeId& key) {
+  const LookupResult result = lookup(key);
+  if (!result.ok) return std::nullopt;
+  KademliaNode* owner = live_node(result.node);
+  if (owner == nullptr) return std::nullopt;
+  auto value = owner->storage().get(key);
+  if (value.has_value()) return value;
+  // Ask the nodes around the key.
+  for (const NodeId& id : owner->closest_contacts(key, config_.bucket_size)) {
+    KademliaNode* n = live_node(id);
+    if (n == nullptr) continue;
+    value = n->storage().get(key);
+    if (value.has_value()) return value;
+  }
+  return std::nullopt;
+}
+
+bool KademliaNetwork::is_alive(const NodeId& id) const {
+  const KademliaNode* n = node(id);
+  return n != nullptr && n->alive();
+}
+
+bool KademliaNetwork::store_on(const NodeId& id, const NodeId& key,
+                               Bytes value) {
+  KademliaNode* n = live_node(id);
+  if (n == nullptr) return false;
+  n->storage().put(key, value, simulator_.now());
+  if (store_observer_) store_observer_(id, key, value);
+  return true;
+}
+
+std::optional<Bytes> KademliaNetwork::load_from(const NodeId& id,
+                                                const NodeId& key) {
+  KademliaNode* n = live_node(id);
+  if (n == nullptr) return std::nullopt;
+  return n->storage().get(key);
+}
+
+void KademliaNetwork::set_message_handler(const NodeId& id,
+                                          MessageHandler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+double KademliaNetwork::sample_latency() {
+  return config_.min_message_latency +
+         rng_.real() *
+             (config_.max_message_latency - config_.min_message_latency);
+}
+
+void KademliaNetwork::deliver(const NodeId& from, const NodeId& to,
+                              const Bytes& payload) {
+  if (live_node(to) == nullptr) return;
+  auto it = handlers_.find(to);
+  if (it != handlers_.end()) {
+    it->second(from, to, payload);
+  } else if (default_handler_) {
+    default_handler_(from, to, payload);
+  }
+}
+
+void KademliaNetwork::send_message(const NodeId& from, const NodeId& to,
+                                   Bytes payload) {
+  simulator_.schedule_in(sample_latency(),
+                         [this, from, to, payload = std::move(payload)]() {
+                           deliver(from, to, payload);
+                         });
+}
+
+void KademliaNetwork::send_message_routed(const NodeId& from,
+                                          const NodeId& ring_point,
+                                          Bytes payload) {
+  simulator_.schedule_in(
+      sample_latency(),
+      [this, from, ring_point, payload = std::move(payload)]() {
+        const LookupResult result = lookup(ring_point);
+        if (!result.ok) return;
+        deliver(from, result.node, payload);
+      });
+}
+
+void KademliaNetwork::republish_round() {
+  const std::vector<NodeId> ids = alive_ids_;
+  for (const NodeId& id : ids) {
+    KademliaNode* n = live_node(id);
+    if (n == nullptr) continue;
+    for (const NodeId& key : n->storage().all_keys()) {
+      auto value = n->storage().get(key);
+      if (!value.has_value()) continue;
+      std::size_t stored = 0;
+      for (const NodeId& peer : n->closest_contacts(key, config_.bucket_size)) {
+        KademliaNode* p = live_node(peer);
+        if (p == nullptr) continue;
+        if (p != n && !p->storage().contains(key)) {
+          p->storage().put(key, *value, simulator_.now());
+          if (store_observer_) store_observer_(peer, key, *value);
+        }
+        if (++stored >= config_.replication_factor) break;
+      }
+    }
+  }
+}
+
+void KademliaNetwork::schedule_republish() {
+  simulator_.schedule_in(config_.republish_interval, [this]() {
+    republish_round();
+    schedule_republish();
+  });
+}
+
+}  // namespace emergence::dht

@@ -1,0 +1,172 @@
+// Kademlia DHT (Maymounkov & Mazieres, IPTPS 2002) as a second substrate.
+//
+// Nodes and keys share the 160-bit id space; distance is XOR interpreted as
+// an unsigned integer. Each node keeps k-buckets -- one per distance prefix
+// length -- of up to `bucket_size` contacts. Lookups are iterative: keep a
+// shortlist of the closest known contacts, repeatedly query the closest
+// unqueried one for *its* closest contacts, stop when no progress is made.
+// A key is owned by the closest live node; puts replicate to the
+// `replication_factor` closest.
+//
+// The paper's evaluation ran on Overlay Weaver, which hosts several DHT
+// algorithms behind one runtime; this class plays that role for the
+// dht::Network interface so the timed-release protocol runs unchanged over
+// Chord or Kademlia (see tests/test_protocol.cpp).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dht/network.hpp"
+#include "dht/node_id.hpp"
+#include "dht/storage.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::dht {
+
+/// XOR distance comparison: true when |a ^ target| < |b ^ target|.
+bool xor_closer(const NodeId& a, const NodeId& b, const NodeId& target);
+
+/// Index of the highest bit set in a ^ b (the k-bucket index); 0 for the
+/// lowest-order bit. Requires a != b.
+std::size_t bucket_index(const NodeId& a, const NodeId& b);
+
+/// Tuning knobs.
+struct KademliaConfig {
+  std::size_t bucket_size = 20;       ///< Kademlia's k
+  std::size_t lookup_parallelism = 3; ///< Kademlia's alpha (shortlist width)
+  std::size_t replication_factor = 3;
+  double min_message_latency = 0.010;
+  double max_message_latency = 0.100;
+  double republish_interval = 120.0;  ///< replica repair period
+  bool run_maintenance = true;
+};
+
+/// One Kademlia participant.
+class KademliaNode {
+ public:
+  KademliaNode(NodeId id, std::size_t buckets) : id_(id), buckets_(buckets) {}
+
+  const NodeId& id() const { return id_; }
+  bool alive() const { return alive_; }
+  void mark_alive(bool alive) { alive_ = alive; }
+
+  /// Inserts a contact into its bucket (drops it when the bucket is full,
+  /// the classic least-recently-seen policy simplified to reject-new).
+  void observe_contact(const NodeId& contact, std::size_t bucket_size);
+  /// Removes a contact (after a failed RPC).
+  void drop_contact(const NodeId& contact);
+
+  /// The `count` known contacts closest to `target` (plus self).
+  std::vector<NodeId> closest_contacts(const NodeId& target,
+                                       std::size_t count) const;
+
+  std::size_t contact_count() const;
+  Storage& storage() { return storage_; }
+  const Storage& storage() const { return storage_; }
+
+ private:
+  NodeId id_;
+  bool alive_ = true;
+  std::vector<std::vector<NodeId>> buckets_;
+  Storage storage_;
+};
+
+/// The in-process Kademlia DHT.
+class KademliaNetwork final : public Network {
+ public:
+  KademliaNetwork(sim::Simulator& simulator, Rng& rng,
+                  KademliaConfig config = {});
+
+  /// Creates `count` nodes and wires fully-populated k-buckets.
+  void bootstrap(std::size_t count);
+
+  /// Joins one node through a random live bootstrap contact.
+  NodeId add_node();
+
+  /// Abrupt failure.
+  void kill_node(const NodeId& id);
+
+  KademliaNode* node(const NodeId& id);
+  const KademliaNode* node(const NodeId& id) const;
+  KademliaNode* live_node(const NodeId& id);
+
+  /// True closest live node to `key` by brute force (test oracle).
+  NodeId closest_alive_brute_force(const NodeId& key) const;
+
+  // -- Network interface -------------------------------------------------------
+  LookupResult lookup(const NodeId& key) override;
+  bool put(const NodeId& key, Bytes value) override;
+  std::optional<Bytes> get(const NodeId& key) override;
+  bool is_alive(const NodeId& id) const override;
+  bool store_on(const NodeId& id, const NodeId& key, Bytes value) override;
+  std::optional<Bytes> load_from(const NodeId& id, const NodeId& key) override;
+  void set_message_handler(const NodeId& node, MessageHandler handler) override;
+  void set_default_message_handler(MessageHandler handler) override {
+    default_handler_ = std::move(handler);
+  }
+  const MessageHandler& default_message_handler() const override {
+    return default_handler_;
+  }
+  void send_message(const NodeId& from, const NodeId& to,
+                    Bytes payload) override;
+  void send_message_routed(const NodeId& from, const NodeId& ring_point,
+                           Bytes payload) override;
+  void set_store_observer(StoreObserver observer) override {
+    store_observer_ = std::move(observer);
+  }
+  const StoreObserver& store_observer() const override {
+    return store_observer_;
+  }
+  std::size_t alive_count() const override { return alive_ids_.size(); }
+  sim::Simulator& simulator() override { return simulator_; }
+  Rng& rng() override { return rng_; }
+  double max_message_latency() const override {
+    return config_.max_message_latency;
+  }
+
+  const std::vector<NodeId>& alive_ids() const { return alive_ids_; }
+  const KademliaConfig& config() const { return config_; }
+  std::uint64_t lookup_count() const { return lookups_; }
+  double mean_lookup_hops() const {
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(total_hops_) /
+                               static_cast<double>(lookups_);
+  }
+
+  /// Republishes every stored key to its current replica set (replica
+  /// repair; scheduled periodically when run_maintenance is on).
+  void republish_round();
+
+ private:
+  NodeId fresh_node_id();
+  void register_alive(const NodeId& id);
+  void unregister_alive(const NodeId& id);
+  void schedule_republish();
+  double sample_latency();
+  void deliver(const NodeId& from, const NodeId& to, const Bytes& payload);
+
+  /// Iterative node lookup: the closest live node to `key`, with hop count.
+  /// Queried nodes learn the originator (Kademlia's implicit liveness
+  /// advertisement), which is what integrates a joining node into the
+  /// routing tables around its own id.
+  LookupResult iterative_find_from(KademliaNode& origin, const NodeId& key);
+  LookupResult iterative_find(const NodeId& key);
+
+  sim::Simulator& simulator_;
+  Rng& rng_;
+  KademliaConfig config_;
+  std::unordered_map<NodeId, std::unique_ptr<KademliaNode>, NodeIdHash> nodes_;
+  std::vector<NodeId> alive_ids_;
+  std::unordered_map<NodeId, std::size_t, NodeIdHash> alive_index_;
+  std::unordered_map<NodeId, MessageHandler, NodeIdHash> handlers_;
+  MessageHandler default_handler_;
+  StoreObserver store_observer_;
+  std::uint64_t node_counter_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t total_hops_ = 0;
+};
+
+}  // namespace emergence::dht

@@ -1,0 +1,83 @@
+// Abstract DHT network interface.
+//
+// The self-emerging protocol needs only a small contract from its substrate:
+// key-based lookup, routed application messages, per-node blob storage with
+// an exposure observer, and access to the simulation environment. Both the
+// Chord implementation (chord_network.hpp) and the Kademlia implementation
+// (kademlia.hpp) satisfy it, mirroring how the paper's Overlay Weaver
+// toolkit hosts multiple DHT algorithms behind one runtime.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "dht/node_id.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::dht {
+
+/// Outcome of an iterative lookup (shared by all DHT implementations).
+struct LookupResult {
+  NodeId node;     ///< node responsible for the key
+  int hops = 0;    ///< routing hops taken
+  bool ok = true;  ///< false when routing failed
+};
+
+/// Handler for application messages delivered to a node.
+using MessageHandler =
+    std::function<void(const NodeId& from, const NodeId& to, BytesView payload)>;
+
+/// Observer fired whenever any node stores a value (primary or replica);
+/// the experiment layer uses it to track which nodes ever held key material.
+using StoreObserver =
+    std::function<void(const NodeId& node, const NodeId& key, BytesView value)>;
+
+/// The substrate contract used by the emerge layer.
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  // -- lookup / storage -------------------------------------------------------
+  virtual LookupResult lookup(const NodeId& key) = 0;
+  virtual bool put(const NodeId& key, Bytes value) = 0;
+  virtual std::optional<Bytes> get(const NodeId& key) = 0;
+
+  // -- node-addressed storage (protocol key assignment / retrieval) -----------
+  /// True when `node` exists and is alive.
+  virtual bool is_alive(const NodeId& node) const = 0;
+  /// Stores directly on a specific live node (fires the store observer);
+  /// returns false when the node is dead.
+  virtual bool store_on(const NodeId& node, const NodeId& key, Bytes value) = 0;
+  /// Reads a blob from a specific live node's local storage.
+  virtual std::optional<Bytes> load_from(const NodeId& node,
+                                         const NodeId& key) = 0;
+
+  // -- application messaging ---------------------------------------------------
+  virtual void set_message_handler(const NodeId& node,
+                                   MessageHandler handler) = 0;
+  virtual void set_default_message_handler(MessageHandler handler) = 0;
+  /// The currently registered default handler (empty when none); a new
+  /// registrant can capture it to chain deliveries.
+  virtual const MessageHandler& default_message_handler() const = 0;
+  /// Point-to-point: lost if the destination is dead at delivery time.
+  virtual void send_message(const NodeId& from, const NodeId& to,
+                            Bytes payload) = 0;
+  /// Routed: delivered to whichever node is responsible for `ring_point`
+  /// at delivery time.
+  virtual void send_message_routed(const NodeId& from, const NodeId& ring_point,
+                                   Bytes payload) = 0;
+
+  // -- exposure tracking --------------------------------------------------------
+  virtual void set_store_observer(StoreObserver observer) = 0;
+  virtual const StoreObserver& store_observer() const = 0;
+
+  // -- environment ---------------------------------------------------------------
+  virtual std::size_t alive_count() const = 0;
+  virtual sim::Simulator& simulator() = 0;
+  virtual Rng& rng() = 0;
+  virtual double max_message_latency() const = 0;
+};
+
+}  // namespace emergence::dht

@@ -1,0 +1,42 @@
+#include "dht/storage.hpp"
+
+namespace emergence::dht {
+
+bool Storage::put(const NodeId& key, Bytes value, sim::Time now) {
+  auto [it, inserted] = items_.insert_or_assign(
+      key, StoredItem{std::move(value), now});
+  (void)it;
+  return inserted;
+}
+
+std::optional<Bytes> Storage::get(const NodeId& key) const {
+  auto it = items_.find(key);
+  if (it == items_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+bool Storage::contains(const NodeId& key) const {
+  return items_.find(key) != items_.end();
+}
+
+bool Storage::erase(const NodeId& key) { return items_.erase(key) > 0; }
+
+void Storage::clear() { items_.clear(); }
+
+std::vector<NodeId> Storage::keys_in_range(const NodeId& from,
+                                           const NodeId& to) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, item] : items_) {
+    if (in_half_open_interval(key, from, to)) out.push_back(key);
+  }
+  return out;
+}
+
+std::vector<NodeId> Storage::all_keys() const {
+  std::vector<NodeId> out;
+  out.reserve(items_.size());
+  for (const auto& [key, item] : items_) out.push_back(key);
+  return out;
+}
+
+}  // namespace emergence::dht

@@ -1,0 +1,52 @@
+// Per-node key-value storage for the DHT.
+//
+// Values are opaque byte blobs keyed by ring identifiers. The store records
+// when each item arrived, which the replica-maintenance logic and the
+// experiment instrumentation (exposure tracking) use.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "dht/node_id.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::dht {
+
+/// One stored item with its arrival timestamp.
+struct StoredItem {
+  Bytes value;
+  sim::Time stored_at = 0.0;
+};
+
+/// In-memory blob store used by each Chord node.
+class Storage {
+ public:
+  /// Inserts or overwrites. Returns true when the key was new.
+  bool put(const NodeId& key, Bytes value, sim::Time now);
+
+  std::optional<Bytes> get(const NodeId& key) const;
+  bool contains(const NodeId& key) const;
+  bool erase(const NodeId& key);
+  void clear();
+
+  std::size_t size() const { return items_.size(); }
+
+  /// Keys whose id lies in the half-open ring interval (from, to]; used when
+  /// transferring responsibility to a joining node.
+  std::vector<NodeId> keys_in_range(const NodeId& from, const NodeId& to) const;
+
+  /// All keys (replica maintenance iterates over these).
+  std::vector<NodeId> all_keys() const;
+
+  const std::unordered_map<NodeId, StoredItem, NodeIdHash>& items() const {
+    return items_;
+  }
+
+ private:
+  std::unordered_map<NodeId, StoredItem, NodeIdHash> items_;
+};
+
+}  // namespace emergence::dht

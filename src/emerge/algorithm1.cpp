@@ -1,0 +1,154 @@
+#include "emerge/algorithm1.hpp"
+
+#include <cmath>
+
+#include "common/binomial.hpp"
+#include "common/error.hpp"
+
+namespace emergence::core {
+
+std::string to_string(Alg1Mode mode) {
+  switch (mode) {
+    case Alg1Mode::kAsPrinted:
+      return "as-printed";
+    case Alg1Mode::kIndependentColumns:
+      return "independent";
+    case Alg1Mode::kStochasticDeaths:
+      return "stochastic";
+  }
+  return "unknown";
+}
+
+std::size_t Alg1Plan::threshold_for_column(std::size_t c) const {
+  for (const Alg1Column& col : columns) {
+    if (col.column == c) return col.m;
+  }
+  // Column 1 (keys delivered directly) or degenerate plans: threshold 1.
+  return 1;
+}
+
+Alg1Plan run_algorithm1(const Alg1Inputs& inputs) {
+  const std::size_t l = inputs.shape.l;
+  const std::size_t k = inputs.shape.k;
+  require(l >= 1 && k >= 1, "run_algorithm1: k and l must be positive");
+  require(inputs.node_budget >= l,
+          "run_algorithm1: need at least one node per column");
+  require(inputs.p >= 0.0 && inputs.p <= 1.0,
+          "run_algorithm1: p outside [0,1]");
+  require(inputs.mean_lifetime > 0.0,
+          "run_algorithm1: mean lifetime must be positive");
+
+  Alg1Plan plan;
+  // Line 1: uniform node assignment along the path.
+  plan.n = inputs.node_budget / l;
+  // Line 2: death probability within one holding period th = T/l, under the
+  // exponential decay model pdead = 1 - e^{-th/λ}.
+  plan.pdead = -std::expm1(-inputs.emerging_time /
+                           (inputs.mean_lifetime * static_cast<double>(l)));
+  // Line 3: expected dead shares per column.
+  plan.d = static_cast<std::size_t>(
+      std::floor(plan.pdead * static_cast<double>(plan.n)));
+  if (plan.d >= plan.n) plan.d = plan.n - 1;  // keep >=1 live share slot
+
+  const std::size_t n = plan.n;
+  const std::size_t alive = n - plan.d;
+  const bool stochastic = inputs.mode == Alg1Mode::kStochasticDeaths;
+
+  // Tails are identical for every column (n, d, p are uniform), so compute
+  // the two tail tables once.
+  const std::vector<double> release_tails = binom_tail_table(n, inputs.p);
+  const std::vector<double> drop_tails = binom_tail_table(alive, inputs.p);
+  // Stochastic mode: an honest-and-alive share carrier survives its holding
+  // period with probability (1-p) e^{-th/λ}; the column key is droppable
+  // when fewer than m such carriers remain.
+  const double honest_alive_rate = (1.0 - inputs.p) * (1.0 - plan.pdead);
+  const std::vector<double> honest_alive_tails =
+      binom_tail_table(n, honest_alive_rate);
+
+  // Lines 4-6.
+  double pr = inputs.p;
+  double pd = inputs.p;
+  std::vector<double> pr_record{pr};
+  std::vector<double> pd_record{pd};
+
+  // Lines 7-13: per-column threshold selection and accumulation.
+  for (std::size_t column = 2; column <= l; ++column) {
+    std::size_t best_m = 1;
+    double best_gap = 2.0;
+    double best_release = 1.0;
+    double best_drop = 1.0;
+    for (std::size_t m = 1; m <= n; ++m) {
+      const double release_tail = release_tails[std::min(m, n + 1)];
+      // Drop: honest-alive shares < m.
+      double drop_tail;
+      if (stochastic) {
+        drop_tail = 1.0 - honest_alive_tails[m];  // P[HA <= m-1]
+      } else if (m > alive) {
+        drop_tail = 1.0;  // fewer than m shares survive even if all honest
+      } else {
+        // As printed: exactly d shares die; malicious survivors withhold.
+        const std::size_t need = alive - m + 1;
+        drop_tail = drop_tails[need];
+      }
+      const double gap = std::fabs(release_tail - drop_tail);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_m = m;
+        best_release = release_tail;
+        best_drop = drop_tail;
+      }
+    }
+
+    // Lines 9-11: cumulative accumulation, as printed.
+    pr = 1.0 - (1.0 - pr) * (1.0 - best_release);
+    pd = 1.0 - (1.0 - pd) * (1.0 - best_drop);
+
+    Alg1Column col;
+    col.column = column;
+    col.m = best_m;
+    col.n = n;
+    col.release_tail = best_release;
+    col.drop_tail = best_drop;
+    col.pr = pr;
+    col.pd = pd;
+    plan.columns.push_back(col);
+
+    pr_record.push_back(inputs.mode == Alg1Mode::kAsPrinted ? pr
+                                                            : best_release);
+    pd_record.push_back(inputs.mode == Alg1Mode::kAsPrinted ? pd : best_drop);
+  }
+
+  if (stochastic) {
+    // Exact independent-column combine. Release: the adversary must capture
+    // every column key -- column 1 via a malicious onion slot
+    // (1-(1-p)^k), later columns via m-of-n malicious carriers. Drop: every
+    // column must reconstruct, and at least one of the k terminal slots must
+    // survive honestly to deliver at tr.
+    double release_success = 1.0 - std::pow(1.0 - inputs.p,
+                                            static_cast<double>(k));
+    double rd = 1.0;
+    for (std::size_t i = 1; i < pr_record.size(); ++i) {
+      release_success *= pr_record[i];
+      rd *= 1.0 - pd_record[i];
+    }
+    rd *= 1.0 - std::pow(1.0 - honest_alive_rate, static_cast<double>(k));
+    plan.resilience.release_ahead = 1.0 - release_success;
+    plan.resilience.drop = rd;
+    return plan;
+  }
+
+  // Lines 14-18: combine across the k onion replicas.
+  double release_success = 1.0;  // Π (1-(1-Pr(i))^k)
+  double rd = 1.0;               // Π (1-Pd(i)^k)
+  for (std::size_t i = 0; i < pr_record.size(); ++i) {
+    const double col_release =
+        1.0 - std::pow(1.0 - pr_record[i], static_cast<double>(k));
+    release_success *= col_release;
+    rd *= 1.0 - std::pow(pd_record[i], static_cast<double>(k));
+  }
+  plan.resilience.release_ahead = 1.0 - release_success;
+  plan.resilience.drop = rd;
+  return plan;
+}
+
+}  // namespace emergence::core

@@ -1,0 +1,88 @@
+// Algorithm 1 of the paper: planning the key-share routing scheme.
+//
+// Inputs: the (k, l) geometry chosen by the node-joint planner, the node
+// budget N, the emerging time T, the mean node lifetime λ and the malicious
+// rate p. Outputs: the per-column Shamir (m, n) parameters and the
+// analytical resilience pair (Rr, Rd).
+//
+// Derivation as printed in the paper:
+//   n      = ⌊N / l⌋                         shares per column
+//   pdead  = 1 - e^{-T/(λ l)}                P[a share carrier dies in th]
+//   d      = ⌊pdead · n⌋                     expected dead shares per column
+//   per column c in [2, l]:
+//     choose m ∈ [1, n] minimizing
+//       | P[Binom(n,p) ≥ m]  -  P[Binom(n-d,p) ≥ n-d-m+1] |
+//     (release tail: adversary gathers m of n shares;
+//      drop tail: malicious carriers ≥ n-d-m+1 of the n-d alive shares
+//      leave fewer than m honest-alive shares)
+//     pr ← 1-(1-pr)(1-release_tail);  pd ← 1-(1-pd)(1-drop_tail)
+//   combine: Rr = 1 - Π_c (1-(1-Pr(c))^k),  Rd = Π_c (1-Pd(c)^k)
+//
+// The paper accumulates pr/pd cumulatively along the path (an adversary that
+// failed at earlier columns gets fresh chances downstream). We implement
+// that verbatim (Mode::kAsPrinted) plus two variants:
+//   * kIndependentColumns: per-column probabilities without accumulation;
+//   * kStochasticDeaths: deaths are Binomial(n, pdead) per column instead of
+//     the deterministic d = ⌊pdead n⌋ of line 3. The printed model ignores
+//     death variance, which overestimates drop resilience whenever n is
+//     small; this mode computes the drop tail exactly as
+//     P[Binom(n, (1-p) e^{-th/λ}) < m] (honest-and-alive shares short of the
+//     threshold) and combines columns as independent events. The planner
+//     uses this mode operationally; the ablation bench quantifies the gap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "emerge/types.hpp"
+
+namespace emergence::core {
+
+/// Accumulation mode for the per-column attack probabilities.
+enum class Alg1Mode {
+  kAsPrinted,           ///< cumulative pr/pd, exactly as in the paper
+  kIndependentColumns,  ///< per-column probabilities without accumulation
+  kStochasticDeaths,    ///< exact Binomial deaths; operational default
+};
+
+std::string to_string(Alg1Mode mode);
+
+/// Inputs to Algorithm 1.
+struct Alg1Inputs {
+  PathShape shape;            ///< k and l from the node-joint planner
+  std::size_t node_budget = 0;  ///< N, total nodes available for the paths
+  double emerging_time = 1.0;   ///< T
+  double mean_lifetime = 1.0;   ///< λ
+  double p = 0.0;               ///< node malicious rate
+  Alg1Mode mode = Alg1Mode::kAsPrinted;
+};
+
+/// Per-column plan entry.
+struct Alg1Column {
+  std::size_t column = 0;  ///< 2-based like the paper's loop (column 1 has no shares)
+  std::size_t m = 1;       ///< Shamir threshold
+  std::size_t n = 1;       ///< shares per column
+  double release_tail = 0.0;  ///< P[adversary reconstructs this column's key]
+  double drop_tail = 0.0;     ///< P[honest holders cannot reconstruct]
+  double pr = 0.0;            ///< accumulated release probability (as recorded)
+  double pd = 0.0;            ///< accumulated drop probability
+};
+
+/// Output of Algorithm 1.
+struct Alg1Plan {
+  std::size_t n = 0;      ///< shares per column
+  std::size_t d = 0;      ///< expected dead shares per column
+  double pdead = 0.0;     ///< per-holding-period death probability
+  std::vector<Alg1Column> columns;
+  Resilience resilience;  ///< analytic Rr / Rd
+
+  /// Threshold for column index c (2..l); columns share one threshold when
+  /// n and d are uniform, but the API is per-column like the paper's MN set.
+  std::size_t threshold_for_column(std::size_t c) const;
+};
+
+/// Runs Algorithm 1. Requires shape.l >= 1 and node_budget >= shape.l
+/// (at least one share per column).
+Alg1Plan run_algorithm1(const Alg1Inputs& inputs);
+
+}  // namespace emergence::core

@@ -1,0 +1,48 @@
+#include "emerge/experiment/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace emergence::core {
+
+FigureTable::FigureTable(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)),
+      headers_(std::move(headers)),
+      column_precision_(headers_.size(), -1) {}
+
+void FigureTable::add_row(std::vector<double> values) {
+  require(values.size() == headers_.size(),
+          "FigureTable::add_row: column count mismatch");
+  rows_.push_back(std::move(values));
+}
+
+void FigureTable::set_column_precision(std::size_t column, int precision) {
+  require(column < headers_.size(),
+          "FigureTable::set_column_precision: no such column");
+  column_precision_[column] = precision;
+}
+
+void FigureTable::print(std::ostream& os, int precision) const {
+  os << "# " << title_ << '\n';
+  if (!caption_.empty()) os << "# " << caption_ << '\n';
+
+  const int width = 12;
+  os << "# ";
+  for (const std::string& h : headers_) os << std::setw(width) << h;
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << "  ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const int digits =
+          column_precision_[c] >= 0 ? column_precision_[c] : precision;
+      os << std::setw(width) << std::fixed << std::setprecision(digits)
+         << row[c];
+    }
+    os << '\n';
+  }
+  os << '\n';
+}
+
+}  // namespace emergence::core

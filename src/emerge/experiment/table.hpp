@@ -1,0 +1,38 @@
+// Plain-text table output for the benchmark harness.
+//
+// Each paper figure becomes one table: the x column (malicious rate p) and
+// one series column per scheme/configuration, printed with gnuplot-friendly
+// alignment so the series can be re-plotted directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace emergence::core {
+
+/// Column-aligned table with a title and caption.
+class FigureTable {
+ public:
+  FigureTable(std::string title, std::vector<std::string> headers);
+
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+  void add_row(std::vector<double> values);
+
+  /// Overrides the decimal count for one column (e.g. integer node counts
+  /// next to fractional probabilities).
+  void set_column_precision(std::size_t column, int precision);
+
+  /// Prints title, header and rows. Values print with `precision` decimals
+  /// unless a per-column override applies.
+  void print(std::ostream& os, int precision = 4) const;
+
+ private:
+  std::string title_;
+  std::string caption_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> column_precision_;  ///< -1 = use the print() default
+};
+
+}  // namespace emergence::core

@@ -1,0 +1,53 @@
+// Experiment driver: plans a scheme for an evaluation point, computes the
+// analytic resilience and estimates it by Monte Carlo, averaging over many
+// independent runs exactly as the paper does ("run each experiment for 1000
+// times to take the average").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "emerge/algorithm1.hpp"
+#include "emerge/planner.hpp"
+#include "emerge/stat_engine.hpp"
+#include "emerge/types.hpp"
+
+namespace emergence::core {
+
+/// One point of a parameter sweep.
+struct EvalPoint {
+  double p = 0.0;                ///< malicious node rate
+  std::size_t population = 10000;  ///< DHT size
+  std::size_t runs = 1000;       ///< Monte-Carlo repetitions
+  ChurnSpec churn;               ///< disabled reproduces Fig. 6
+  PlannerConfig planner;         ///< node budget etc.
+  std::uint64_t seed = 0x5eed;   ///< Monte-Carlo seed
+  Alg1Mode alg1_mode = Alg1Mode::kStochasticDeaths;
+};
+
+/// Result of evaluating one scheme at one point.
+struct EvalResult {
+  SchemeKind kind = SchemeKind::kCentralized;
+  PathShape shape;                 ///< geometry used
+  std::size_t nodes_used = 1;      ///< C (Fig. 6(b)/(d))
+  std::optional<Alg1Plan> alg1;    ///< share scheme only
+  Resilience analytic;             ///< model prediction
+  Resilience monte_carlo;          ///< simulated estimate
+  double release_stderr = 0.0;
+  double drop_stderr = 0.0;
+  double mean_compromised_suffix = 0.0;
+
+  double R_analytic() const { return analytic.combined(); }
+  double R_mc() const { return monte_carlo.combined(); }
+};
+
+/// Plans `kind` for the point (no-churn planning, like the paper) and
+/// evaluates it analytically and by Monte Carlo.
+EvalResult evaluate_point(SchemeKind kind, const EvalPoint& point);
+
+/// Monte-Carlo-only evaluation of an explicit geometry (used by tests that
+/// pin (k, l) instead of letting the planner choose).
+EvalResult evaluate_fixed_shape(SchemeKind kind, const PathShape& shape,
+                                const EvalPoint& point);
+
+}  // namespace emergence::core

@@ -1,0 +1,221 @@
+#include "emerge/planner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "emerge/resilience.hpp"
+
+namespace emergence::core {
+namespace {
+
+/// Evaluates min(Rr, Rd) for one geometry.
+double score(SchemeKind kind, double p, const PathShape& shape) {
+  return analytic_resilience(kind, p, shape).combined();
+}
+
+/// For a fixed k, finds the best l in [1, l_max]. Rr is nondecreasing and Rd
+/// nonincreasing in l, so min(Rr, Rd) peaks where they cross; binary-search
+/// the sign change of Rr - Rd and probe the neighborhood.
+std::size_t best_l_for_k(SchemeKind kind, double p, std::size_t k,
+                         std::size_t l_max) {
+  auto diff = [&](std::size_t l) {
+    const Resilience r = analytic_resilience(kind, p, PathShape{k, l});
+    return r.release_ahead - r.drop;
+  };
+  std::size_t lo = 1, hi = l_max;
+  if (diff(hi) <= 0.0) return hi;  // Rr never catches up: take the largest l
+  if (diff(lo) >= 0.0) return lo;  // already past the crossing at l = 1
+  // Invariant: diff(lo) < 0 <= diff(hi).
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (diff(mid) < 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  // The optimum is lo or hi; pick the better score.
+  return score(kind, p, PathShape{k, lo}) >= score(kind, p, PathShape{k, hi})
+             ? lo
+             : hi;
+}
+
+/// Smallest l in [1, l_max] whose score reaches `target` for this k, or 0
+/// when none does. Uses the monotone rising side: below the Rr/Rd crossing
+/// the score equals Rr, which is nondecreasing in l.
+std::size_t cheapest_l_reaching(SchemeKind kind, double p, std::size_t k,
+                                std::size_t l_max, double target) {
+  auto rr = [&](std::size_t l) {
+    return analytic_resilience(kind, p, PathShape{k, l}).release_ahead;
+  };
+  if (score(kind, p, PathShape{k, 1}) >= target) return 1;
+  if (rr(l_max) < target) return 0;
+  // Binary search the smallest l with Rr(l) >= target.
+  std::size_t lo = 1, hi = l_max;  // rr(lo) < target <= rr(hi)
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (rr(mid) < target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  // Rd is nonincreasing in l, so if the score fails here it fails for every
+  // feasible l of this k.
+  return score(kind, p, PathShape{k, hi}) >= target ? hi : 0;
+}
+
+Plan plan_multipath(SchemeKind kind, double p, const PlannerConfig& config) {
+  require(config.node_budget >= 1, "planner: empty node budget");
+  const std::size_t k_cap = std::min(config.max_k, config.node_budget);
+
+  // Pass 1: the best achievable min(Rr, Rd) over the budget.
+  double best_score = score(kind, p, PathShape{1, 1});
+  for (std::size_t k = 1; k <= k_cap; ++k) {
+    const std::size_t l_max = config.node_budget / k;
+    if (l_max == 0) break;
+    const std::size_t l = best_l_for_k(kind, p, k, l_max);
+    best_score = std::max(best_score, score(kind, p, PathShape{k, l}));
+  }
+
+  // Pass 2: the cheapest geometry within tolerance of that score.
+  const double target = best_score - config.score_tolerance;
+  Plan best;
+  best.kind = kind;
+  best.shape = PathShape{1, 1};
+  best.resilience = analytic_resilience(kind, p, best.shape);
+  best.nodes_used = 1;
+  bool found = best.R() >= target;
+  for (std::size_t k = 1; k <= k_cap; ++k) {
+    const std::size_t l_max = config.node_budget / k;
+    if (l_max == 0) break;
+    const std::size_t l = cheapest_l_reaching(kind, p, k, l_max, target);
+    if (l == 0) continue;
+    const PathShape shape{k, l};
+    const std::size_t cost = shape.holder_count();
+    if (!found || cost < best.nodes_used) {
+      found = true;
+      best.shape = shape;
+      best.resilience = analytic_resilience(kind, p, shape);
+      best.nodes_used = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Plan plan_centralized(double p) {
+  Plan plan;
+  plan.kind = SchemeKind::kCentralized;
+  plan.shape = PathShape{1, 1};
+  plan.resilience = analytic_resilience(SchemeKind::kCentralized, p, plan.shape);
+  plan.nodes_used = 1;
+  return plan;
+}
+
+Plan plan_disjoint(double p, const PlannerConfig& config) {
+  return plan_multipath(SchemeKind::kDisjoint, p, config);
+}
+
+Plan plan_joint(double p, const PlannerConfig& config) {
+  return plan_multipath(SchemeKind::kJoint, p, config);
+}
+
+SharePlan plan_share(double p, const PlannerConfig& config,
+                     const ChurnSpec& churn, Alg1Mode mode) {
+  require(config.node_budget >= 2, "plan_share: budget too small");
+
+  Alg1Inputs inputs;
+  inputs.node_budget = config.node_budget;
+  inputs.emerging_time = churn.enabled ? churn.emerging_time : 1.0;
+  inputs.mean_lifetime =
+      churn.enabled ? churn.mean_lifetime
+                    : 1e9;  // no churn: vanishing death probability
+  inputs.p = p;
+  inputs.mode = mode;
+
+  // Grid-search the geometry: short paths keep n = N/l large (sharp
+  // binomial thresholds); a handful of onion replicas k suffices because the
+  // cross-replica combination of Algorithm 1 saturates quickly.
+  static constexpr std::size_t kLengthLadder[] = {2,  3,  4,  6,  8,  12, 16,
+                                                  24, 32, 48, 64, 96, 128};
+  SharePlan best;
+  bool have_best = false;
+  for (std::size_t k = 1; k <= std::min<std::size_t>(12, config.max_k); ++k) {
+    for (std::size_t l : kLengthLadder) {
+      if (l * std::max<std::size_t>(k, 1) > config.node_budget) break;
+      if (config.node_budget / l < k) break;  // need n >= k carrier slots
+      inputs.shape = PathShape{k, l};
+      const Alg1Plan candidate = run_algorithm1(inputs);
+      const double r = candidate.resilience.combined();
+      if (!have_best || r > best.R() + 1e-12) {
+        have_best = true;
+        best.base.kind = SchemeKind::kJoint;
+        best.base.shape = inputs.shape;
+        best.base.resilience =
+            analytic_resilience(SchemeKind::kJoint, p, inputs.shape);
+        best.base.nodes_used = inputs.shape.holder_count();
+        best.alg1 = candidate;
+      }
+    }
+  }
+  require(have_best, "plan_share: no feasible geometry for the budget");
+  return best;
+}
+
+Plan plan_churn_aware(SchemeKind kind, double p, const PlannerConfig& config,
+                      const ChurnSpec& churn) {
+  require(config.node_budget >= 1, "plan_churn_aware: empty node budget");
+  if (kind == SchemeKind::kCentralized) {
+    Plan plan = plan_centralized(p);
+    plan.resilience = centralized_churn_resilience(p, churn);
+    return plan;
+  }
+  require(kind == SchemeKind::kDisjoint || kind == SchemeKind::kJoint,
+          "plan_churn_aware: use plan_share for the share scheme");
+
+  // The churn models are not monotone in l (longer paths shorten holds but
+  // add hops), so search a geometric ladder instead of binary-searching a
+  // crossing.
+  static constexpr std::size_t kLadder[] = {1,  2,   3,   4,   6,   8,   12,
+                                            16, 24,  32,  48,  64,  96,  128,
+                                            192, 256, 384, 512, 768, 1024};
+  Plan best;
+  best.kind = kind;
+  best.shape = PathShape{1, 1};
+  best.resilience = analytic_churn_resilience(kind, p, best.shape, churn);
+  best.nodes_used = 1;
+  const std::size_t k_cap = std::min<std::size_t>(16, config.max_k);
+  for (std::size_t k = 1; k <= k_cap; ++k) {
+    for (std::size_t l : kLadder) {
+      if (k * l > config.node_budget) break;
+      const PathShape shape{k, l};
+      const Resilience r = analytic_churn_resilience(kind, p, shape, churn);
+      const double score = r.combined();
+      const std::size_t cost = shape.holder_count();
+      if (score > best.R() + config.score_tolerance ||
+          (score >= best.R() - config.score_tolerance &&
+           cost < best.nodes_used)) {
+        best.shape = shape;
+        best.resilience = r;
+        best.nodes_used = cost;
+      }
+    }
+  }
+  return best;
+}
+
+Plan plan_scheme(SchemeKind kind, double p, const PlannerConfig& config) {
+  switch (kind) {
+    case SchemeKind::kCentralized:
+      return plan_centralized(p);
+    case SchemeKind::kDisjoint:
+      return plan_disjoint(p, config);
+    case SchemeKind::kJoint:
+      return plan_joint(p, config);
+    case SchemeKind::kShare:
+      break;
+  }
+  throw PreconditionError("plan_scheme: use plan_share for the share scheme");
+}
+
+}  // namespace emergence::core

@@ -1,0 +1,157 @@
+// The end-to-end timed-release protocol over the Chord DHT (paper Fig. 1).
+//
+// One TimedReleaseSession orchestrates a single self-emerging message:
+//
+//   sender                           DHT                         receiver
+//     | encrypt msg, upload to cloud  |                              |
+//     | build paths + onions          |                              |
+//     | ts: assign layer keys,        |                              |
+//     |     send column-1 packages -> | holders peel/hold/forward    |
+//     |                               | ... l columns, th each ...   |
+//     |                               | tr: terminal holders ------> | secret
+//     |                               |                              | decrypt
+//
+// Holder behavior runs as message handlers + simulator events; malicious
+// holders report to the Adversary and, in dropping mode, break the chain.
+// The session instance must outlive the simulation run that drives it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cloud/cloud_store.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/drbg.hpp"
+#include "dht/network.hpp"
+#include "emerge/adversary.hpp"
+#include "emerge/path.hpp"
+#include "emerge/types.hpp"
+
+namespace emergence::core {
+
+/// Static protocol parameters for one session.
+struct SessionConfig {
+  SchemeKind kind = SchemeKind::kJoint;
+  PathShape shape{2, 3};
+  std::size_t carriers_n = 0;    ///< share scheme: holders per column
+  std::size_t threshold_m = 0;   ///< share scheme: Shamir threshold
+  double emerging_time = 3600.0;  ///< T in virtual seconds
+  /// Delay a holder waits after the first package arrives before processing,
+  /// letting all shares of a column assemble (network latency << th).
+  double assembly_delay = 1.0;
+  crypto::CipherBackend backend = crypto::CipherBackend::kChaCha20;
+};
+
+/// Counters exposed for tests and examples.
+struct SessionReport {
+  std::uint64_t packages_sent = 0;
+  std::uint64_t packages_delivered = 0;
+  std::uint64_t packages_dropped_malicious = 0;
+  std::uint64_t malformed_packages = 0;  ///< undecodable payloads discarded
+  std::uint64_t holders_stuck = 0;  ///< could not reconstruct a layer key
+  std::uint64_t key_assignments = 0;
+  std::uint64_t deliveries = 0;  ///< terminal deliveries to the receiver
+};
+
+/// One self-emerging message through the DHT.
+class TimedReleaseSession {
+ public:
+  /// `adversary` may be nullptr (no attack). The session registers message
+  /// handlers on holder nodes; it must outlive the simulation.
+  TimedReleaseSession(dht::Network& network, cloud::CloudStore& cloud,
+                      Adversary* adversary, SessionConfig config,
+                      std::uint64_t seed);
+
+  /// Encrypts and uploads `message`, builds paths/onions and launches the
+  /// protocol at the current virtual time ts. Returns the cloud blob id.
+  cloud::BlobId send(BytesView message, const std::string& receiver_token);
+
+  // -- observation ------------------------------------------------------------
+
+  double start_time() const { return start_time_; }
+  double release_time() const { return start_time_ + config_.emerging_time; }
+  double holding_period() const {
+    return config_.emerging_time / static_cast<double>(config_.shape.l);
+  }
+
+  /// True once at least one terminal holder delivered the secret at tr.
+  bool secret_released() const { return released_secret_.has_value(); }
+  std::optional<sim::Time> first_delivery_time() const {
+    return first_delivery_;
+  }
+  const std::optional<Bytes>& released_secret() const {
+    return released_secret_;
+  }
+
+  /// Receiver-side: downloads the ciphertext and decrypts it with the
+  /// released secret. Returns nullopt before release.
+  std::optional<Bytes> receiver_decrypt(const std::string& receiver_token);
+
+  /// Reports every pre-assigned layer key currently stored on a malicious
+  /// node to the adversary. Key assignment happens inside send(); callers
+  /// that mark coalition nodes afterwards (tests, examples) use this to
+  /// model an adversary whose nodes were compromised all along.
+  void refresh_adversary_exposure();
+
+  const PathLayout& layout() const { return layout_; }
+  const SessionReport& report() const { return report_; }
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  struct HolderState {
+    Bytes onion;                        ///< first received package
+    std::vector<crypto::Share> shares;  ///< gathered shares for my key
+    /// The node occupying this holder slot when the package arrived; the
+    /// in-RAM package dies with it (ring responsibility migrates, held
+    /// state does not).
+    dht::NodeId current_node;
+    bool have_node = false;
+    bool processing_scheduled = false;
+    bool processed = false;
+  };
+
+  /// Layer key id for holder `h` of `column` (shared for onion slots).
+  LayerKeyId key_id_for(std::uint16_t column, std::uint16_t holder) const;
+  crypto::SymmetricKey layer_key(const LayerKeyId& id) const;
+
+  void assign_keys_at_start();
+  void launch_column1_packages();
+  void register_holder_handlers();
+  void on_package(const dht::NodeId& node, std::uint16_t column,
+                  std::uint16_t holder_index, BytesView onion,
+                  std::vector<crypto::Share> shares);
+  void process_holder(std::uint16_t column, std::uint16_t holder_index);
+  void forward_from(std::uint16_t column, std::uint16_t holder_index,
+                    const EnvelopeContent& content, const Bytes& inner);
+  void deliver_to_receiver(std::uint16_t holder_index, const Bytes& secret);
+
+  dht::Network& network_;
+  cloud::CloudStore& cloud_;
+  Adversary* adversary_;
+  SessionConfig config_;
+  crypto::Drbg drbg_;
+
+  PathLayout layout_;
+  std::map<LayerKeyId, crypto::SymmetricKey> layer_keys_;
+  /// DHT storage key used for a pre-assigned layer key on a holder, so the
+  /// store-observer can map replica repairs back to layer-key exposure.
+  std::map<dht::NodeId, LayerKeyId> storage_key_to_layer_;
+
+  Bytes secret_key_;  ///< the message key routed through the DHT
+  std::uint64_t session_nonce_ = 0;  ///< distinguishes concurrent sessions
+  /// The default handler registered before this session took over; foreign
+  /// or undecodable packages chain to it.
+  dht::MessageHandler chained_handler_;
+  cloud::BlobId blob_id_;
+  double start_time_ = 0.0;
+  bool sent_ = false;
+
+  std::map<std::pair<std::uint16_t, std::uint16_t>, HolderState> holders_;
+  std::optional<Bytes> released_secret_;
+  std::optional<sim::Time> first_delivery_;
+  SessionReport report_;
+};
+
+}  // namespace emergence::core

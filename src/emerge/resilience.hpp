@@ -1,0 +1,64 @@
+// Closed-form attack-resilience models (paper eqs. 1-3 and their
+// churn-extended counterparts).
+//
+// Notation: p = fraction of malicious DHT nodes, k = replication factor,
+// l = path length, th = T/l the holding period, λ = mean node lifetime,
+// α = T/λ.
+//
+// No-churn (paper §III):
+//   centralized:  Rr = Rd = 1 - p
+//   disjoint:     Rr = 1 - (1-(1-p)^k)^l          (eq. 1)
+//                 Rd = 1 - (1-(1-p)^l)^k          (eq. 2)
+//   joint:        Rr as eq. 1,  Rd = (1-p^k)^l    (eq. 3)
+//
+// Churn extension (exposure model of §III-D): a holder slot is a renewal
+// process of occupants with Exp(λ) lifetimes; every occupant of a slot
+// storing a key learns it. Over a window w the expected replacements are
+// w/λ and P[no malicious ever-occupant] = (1-p) e^{-(w/λ) p} exactly
+// (E[q^Poisson(μ)] = e^{-μ(1-q)}). In-transit onions are not repaired by
+// replication, so a slot delivers its onion only if the occupant at arrival
+// is honest and survives the holding period: (1-p) e^{-th/λ}.
+#pragma once
+
+#include "emerge/types.hpp"
+
+namespace emergence::core {
+
+// -- paper equations (no churn) ----------------------------------------------
+
+/// Rr of the multipath schemes, eq. 1.
+double multipath_release_resilience(double p, const PathShape& shape);
+
+/// Rd of the node-disjoint scheme, eq. 2.
+double disjoint_drop_resilience(double p, const PathShape& shape);
+
+/// Rd of the node-joint scheme, eq. 3.
+double joint_drop_resilience(double p, const PathShape& shape);
+
+/// Both metrics for a scheme without churn. For kShare use Algorithm 1
+/// (algorithm1.hpp) instead; passing kShare here throws.
+Resilience analytic_resilience(SchemeKind kind, double p,
+                               const PathShape& shape);
+
+// -- churn-extended models ---------------------------------------------------
+
+/// Centralized scheme under churn: the single logical holder slot is
+/// re-occupied on every death, each occupant malicious w.p. p.
+Resilience centralized_churn_resilience(double p, const ChurnSpec& churn);
+
+/// Disjoint / joint schemes under churn (exposure model above).
+Resilience disjoint_churn_resilience(double p, const PathShape& shape,
+                                     const ChurnSpec& churn);
+Resilience joint_churn_resilience(double p, const PathShape& shape,
+                                  const ChurnSpec& churn);
+
+/// Dispatcher over the three pattern schemes (kShare -> Algorithm 1).
+Resilience analytic_churn_resilience(SchemeKind kind, double p,
+                                     const PathShape& shape,
+                                     const ChurnSpec& churn);
+
+/// Lemma 1: for the node-joint scheme, Rr + Rd > 1 whenever p < 0.5.
+/// Exposed for the property tests.
+bool lemma1_holds(double p, const PathShape& shape);
+
+}  // namespace emergence::core

@@ -1,0 +1,31 @@
+#include "emerge/sampler.hpp"
+
+#include "common/error.hpp"
+
+namespace emergence::core {
+
+MaliciousSampler::MaliciousSampler(std::size_t population,
+                                   std::size_t malicious_count, Rng& rng)
+    : remaining_(population),
+      remaining_malicious_(malicious_count),
+      rate_(population == 0 ? 0.0
+                            : static_cast<double>(malicious_count) /
+                                  static_cast<double>(population)),
+      rng_(rng) {
+  require(malicious_count <= population,
+          "MaliciousSampler: more malicious nodes than population");
+}
+
+bool MaliciousSampler::draw() {
+  require(remaining_ > 0, "MaliciousSampler: population exhausted");
+  const double threshold = static_cast<double>(remaining_malicious_) /
+                           static_cast<double>(remaining_);
+  const bool malicious = rng_.real() < threshold;
+  --remaining_;
+  if (malicious) --remaining_malicious_;
+  return malicious;
+}
+
+bool MaliciousSampler::draw_fresh() { return rng_.chance(rate_); }
+
+}  // namespace emergence::core

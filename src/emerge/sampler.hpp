@@ -1,0 +1,46 @@
+// Population sampling for the Monte-Carlo experiments.
+//
+// The paper's setup: "We invoke 10000 DHT node instances ... randomly select
+// 10000*p non-repeated nodes and mark them as malicious." Holders are then
+// drawn from that population without replacement, which makes the malicious
+// indicator of successive draws hypergeometric, not Bernoulli. The sampler
+// reproduces that exactly with O(1) state: each draw is malicious with
+// probability (remaining malicious / remaining population).
+//
+// Nodes that join later (churn replacements) come from outside the original
+// population; the paper models them as malicious with probability p, which
+// `draw_fresh()` implements.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace emergence::core {
+
+/// Sequential hypergeometric sampler over a fixed population.
+class MaliciousSampler {
+ public:
+  MaliciousSampler(std::size_t population, std::size_t malicious_count,
+                   Rng& rng);
+
+  /// Draws the next holder from the population without replacement;
+  /// returns true when it is malicious. Throws when the population is
+  /// exhausted.
+  bool draw();
+
+  /// Draws a fresh (replacement) node: malicious i.i.d. with the population
+  /// malicious rate.
+  bool draw_fresh();
+
+  std::size_t remaining() const { return remaining_; }
+  double malicious_rate() const { return rate_; }
+
+ private:
+  std::size_t remaining_;
+  std::size_t remaining_malicious_;
+  double rate_;
+  Rng& rng_;
+};
+
+}  // namespace emergence::core

@@ -1,0 +1,62 @@
+// Monte-Carlo mechanics of the four schemes (the statistical engine).
+//
+// This engine simulates one protocol instance per call at the level of
+// holder slots, key exposure and package delivery -- the same abstraction
+// the paper's Overlay Weaver experiments use -- without running the full
+// Chord + crypto stack (which the protocol engine in protocol.hpp provides
+// for end-to-end validation at smaller scale). This is what makes the
+// paper's 1000-run parameter sweeps tractable.
+//
+// Semantics (DESIGN.md §2/§5):
+//  * release-ahead success: the adversary collects every column's layer key
+//    within its storage window (pre-assigned-key schemes) or gathers m of n
+//    Shamir shares per column (share scheme). Malicious holders behave
+//    covertly in this evaluation (they forward normally).
+//  * drop success: the receiver fails to obtain the secret key at tr while
+//    malicious holders refuse to forward; churn losses count against
+//    availability as well.
+//  * Under churn, a holder slot is a renewal process: occupants die with
+//    Exp(λ) lifetimes; replacements learn *stored* key material (DHT
+//    replication repairs it) but in-transit packages die with their holder.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "emerge/planner.hpp"
+#include "emerge/sampler.hpp"
+#include "emerge/types.hpp"
+
+namespace emergence::core {
+
+/// Environment shared by all Monte-Carlo runs of one experiment point.
+struct StatEnvironment {
+  std::size_t population = 10000;   ///< DHT size (paper: 10000 or 100)
+  std::size_t malicious_count = 0;  ///< ⌊p * population⌋
+  ChurnSpec churn;                  ///< disabled for Fig. 6
+};
+
+/// Outcome of one simulated protocol instance.
+struct StatRunOutcome {
+  bool release_success = false;  ///< adversary restores the key early
+  bool drop_success = false;     ///< key does not emerge at tr
+  /// Length of the longest fully-compromised column suffix; the ablation
+  /// bench uses it for the "restore x holding periods early" semantics
+  /// (a malicious terminal holder alone gives suffix >= 1).
+  std::size_t compromised_suffix = 0;
+};
+
+/// One run of the centralized scheme (single holder slot, window T).
+StatRunOutcome run_centralized_stat(const StatEnvironment& env, Rng& rng);
+
+/// One run of the node-disjoint or node-joint multipath scheme.
+/// `kind` must be kDisjoint or kJoint.
+StatRunOutcome run_multipath_stat(SchemeKind kind, const PathShape& shape,
+                                  const StatEnvironment& env, Rng& rng);
+
+/// One run of the key-share routing scheme, using the thresholds computed by
+/// Algorithm 1 (plan.alg1).
+StatRunOutcome run_share_stat(const SharePlan& plan,
+                              const StatEnvironment& env, Rng& rng);
+
+}  // namespace emergence::core

@@ -1,0 +1,33 @@
+#include "emerge/sybil.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace emergence::core {
+
+double SybilAttack::achieved_p() const {
+  if (total_nodes() == 0) return 0.0;
+  return static_cast<double>(sybil_identities) /
+         static_cast<double>(total_nodes());
+}
+
+std::size_t sybils_needed(std::size_t honest_nodes, double p) {
+  require(p >= 0.0 && p < 1.0, "sybils_needed: p must be in [0, 1)");
+  if (p == 0.0) return 0;
+  const double s =
+      std::ceil(static_cast<double>(honest_nodes) * p / (1.0 - p));
+  return static_cast<std::size_t>(s);
+}
+
+double sybil_cost_factor(double p) {
+  require(p >= 0.0 && p < 1.0, "sybil_cost_factor: p must be in [0, 1)");
+  return p / (1.0 - p);
+}
+
+double full_eclipse_probability(std::size_t table_size, double p) {
+  require(p >= 0.0 && p <= 1.0, "full_eclipse_probability: p out of range");
+  return std::pow(p, static_cast<double>(table_size));
+}
+
+}  // namespace emergence::core

@@ -1,0 +1,49 @@
+// Sybil-attack provisioning model (paper §II-B).
+//
+// The evaluation treats the malicious fraction p as a free parameter; the
+// paper notes that in practice p is *manufactured* through a Sybil attack
+// ("the adversary may create a large number of pseudonymous identities and
+// use them to gain a disproportionately large influence", Douceur '02) or an
+// Eclipse attack. This module supplies the bookkeeping between an attack
+// budget and the p it buys:
+//
+//   N honest nodes, s Sybil identities  =>  p = s / (N + s)
+//   target p                            =>  s = N p / (1 - p)
+//
+// plus helpers quantifying what the defense (larger DHTs) costs an attacker
+// -- the quantitative version of the paper's argument that "large-scale DHT
+// networks significantly increase the attack resilience".
+#pragma once
+
+#include <cstddef>
+
+namespace emergence::core {
+
+/// Relationship between Sybil identities and the malicious fraction.
+struct SybilAttack {
+  std::size_t honest_nodes = 0;
+  std::size_t sybil_identities = 0;
+
+  /// The malicious node rate this attack achieves.
+  double achieved_p() const;
+
+  /// Effective network size the protocol sees (honest + Sybil).
+  std::size_t total_nodes() const { return honest_nodes + sybil_identities; }
+};
+
+/// Number of Sybil identities needed to reach malicious rate `p` against
+/// `honest_nodes` honest participants. Requires 0 <= p < 1.
+std::size_t sybils_needed(std::size_t honest_nodes, double p);
+
+/// Identities needed per honest node at rate p: p / (1 - p); the marginal
+/// cost an attacker pays when the network grows by one honest node.
+double sybil_cost_factor(double p);
+
+/// An Eclipse attack concentrates the adversary on one victim's routing
+/// neighborhood instead of the whole id space: with `table_size` routing
+/// entries and the same identity budget, the probability that *every* entry
+/// of the victim's table is adversarial (full eclipse) under uniform id
+/// assignment.
+double full_eclipse_probability(std::size_t table_size, double p);
+
+}  // namespace emergence::core

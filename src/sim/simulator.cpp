@@ -1,0 +1,63 @@
+#include "sim/simulator.hpp"
+
+#include "common/error.hpp"
+
+namespace emergence::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> action) {
+  require(at >= now_, "Simulator::schedule_at: time in the past");
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, id, std::move(action)});
+  return id;
+}
+
+EventId Simulator::schedule_in(Time delay, std::function<void()> action) {
+  require(delay >= 0.0, "Simulator::schedule_in: negative delay");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.at;
+    ++executed_;
+    e.action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (fire_next()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  require(deadline >= now_, "Simulator::run_until: deadline in the past");
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    fire_next();
+  }
+  now_ = deadline;
+}
+
+std::size_t Simulator::step(std::size_t max_events) {
+  std::size_t ran = 0;
+  while (ran < max_events && fire_next()) ++ran;
+  return ran;
+}
+
+}  // namespace emergence::sim

@@ -1,0 +1,71 @@
+// Discrete-event simulator driving the DHT and the self-emerging protocol.
+//
+// Virtual time is a double in seconds. Events scheduled for the same instant
+// execute in scheduling order (a monotonically increasing sequence number
+// breaks ties), which makes every run deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace emergence::sim {
+
+/// Virtual time in seconds.
+using Time = double;
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+/// Deterministic discrete-event loop.
+class Simulator {
+ public:
+  /// Schedules `action` to run at absolute time `at` (>= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(Time at, std::function<void()> action);
+
+  /// Schedules `action` to run `delay` seconds from now.
+  EventId schedule_in(Time delay, std::function<void()> action);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event is
+  /// a no-op.
+  void cancel(EventId id);
+
+  /// Runs events until the queue empties.
+  void run();
+
+  /// Runs events with timestamp <= deadline, then sets now to the deadline.
+  void run_until(Time deadline);
+
+  /// Executes at most `max_events` pending events; returns how many ran.
+  std::size_t step(std::size_t max_events);
+
+  Time now() const { return now_; }
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  bool fire_next();
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace emergence::sim

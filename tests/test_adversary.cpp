@@ -1,0 +1,219 @@
+// Tests for the adversary knowledge base and the real restore engine.
+#include <gtest/gtest.h>
+
+#include "emerge/adversary.hpp"
+#include "emerge/onion.hpp"
+
+namespace emergence::core {
+namespace {
+
+crypto::SymmetricKey key_of(std::uint8_t fill) {
+  return crypto::SymmetricKey::from_bytes(Bytes(32, fill));
+}
+
+dht::NodeId node(std::string_view name) {
+  return dht::NodeId::hash_of_text(name);
+}
+
+Adversary::Config config_with(std::size_t k, std::size_t m,
+                              AttackMode mode = AttackMode::kCovert) {
+  Adversary::Config c;
+  c.mode = mode;
+  c.onion_slots_k = k;
+  c.share_threshold_m = m;
+  return c;
+}
+
+TEST(Adversary, TracksCoalitionMembership) {
+  Adversary adv(config_with(1, 1));
+  adv.mark_malicious(node("evil"));
+  EXPECT_TRUE(adv.is_malicious(node("evil")));
+  EXPECT_FALSE(adv.is_malicious(node("good")));
+  EXPECT_EQ(adv.coalition_size(), 1u);
+}
+
+TEST(Adversary, ModeSwitches) {
+  Adversary adv(config_with(1, 1, AttackMode::kDropping));
+  EXPECT_EQ(adv.mode(), AttackMode::kDropping);
+  adv.set_mode(AttackMode::kCovert);
+  EXPECT_EQ(adv.mode(), AttackMode::kCovert);
+}
+
+TEST(Adversary, SharesDedupeByIndex) {
+  Adversary adv(config_with(1, 2));
+  crypto::Share s;
+  s.index = 1;
+  s.data = bytes_of("x");
+  adv.observe_share(LayerKeyId{2, LayerKeyId::kSharedHolder}, s, 0.0);
+  adv.observe_share(LayerKeyId{2, LayerKeyId::kSharedHolder}, s, 1.0);
+  EXPECT_EQ(adv.captured_shares(), 1u);
+}
+
+TEST(Adversary, PackagesDedupeByContent) {
+  Adversary adv(config_with(1, 1));
+  adv.observe_package(bytes_of("pkg"), 0.0);
+  adv.observe_package(bytes_of("pkg"), 1.0);
+  adv.observe_package(bytes_of("other"), 1.0);
+  EXPECT_EQ(adv.captured_packages(), 2u);
+}
+
+TEST(Adversary, DirectSecretObservationWins) {
+  Adversary adv(config_with(1, 1));
+  adv.observe_secret(bytes_of("leaked"), 12.5);
+  const auto secret = adv.attempt_restore(13.0);
+  ASSERT_TRUE(secret.has_value());
+  EXPECT_EQ(*secret, bytes_of("leaked"));
+  EXPECT_EQ(adv.earliest_secret_time(), 12.5);
+}
+
+TEST(Adversary, EarliestSecretTimeKeepsMinimum) {
+  Adversary adv(config_with(1, 1));
+  adv.observe_secret(bytes_of("s"), 10.0);
+  adv.observe_secret(bytes_of("s"), 5.0);
+  adv.observe_secret(bytes_of("s"), 20.0);
+  EXPECT_EQ(adv.earliest_secret_time(), 5.0);
+}
+
+TEST(Adversary, RestoreFailsWithoutKeys) {
+  // Give the adversary a full onion but no keys at all.
+  crypto::Drbg drbg(std::uint64_t{3});
+  std::vector<ColumnBuildSpec> specs(2);
+  specs[0].holder_keys = {key_of(1)};
+  specs[0].envelopes.resize(1);
+  specs[0].envelopes[0].next_hops = {node("n")};
+  specs[1].holder_keys = {key_of(2)};
+  specs[1].envelopes.resize(1);
+  specs[1].envelopes[0].terminal_payload = bytes_of("secret!");
+  const Bytes onion = build_onion(specs, drbg);
+
+  Adversary adv(config_with(1, 1));
+  adv.observe_package(onion, 0.0);
+  EXPECT_FALSE(adv.attempt_restore(0.0).has_value());
+}
+
+TEST(Adversary, RestoreWithAllColumnKeysSucceeds) {
+  // The release-ahead attack of Fig. 2(b), K4 case: all keys + the package.
+  crypto::Drbg drbg(std::uint64_t{4});
+  std::vector<ColumnBuildSpec> specs(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    specs[c].holder_keys = {key_of(static_cast<std::uint8_t>(c + 1))};
+    specs[c].envelopes.resize(1);
+    if (c == 2)
+      specs[c].envelopes[0].terminal_payload = bytes_of("early!");
+    else
+      specs[c].envelopes[0].next_hops = {node("n")};
+  }
+  const Bytes onion = build_onion(specs, drbg);
+
+  Adversary adv(config_with(1, 1));
+  adv.observe_package(onion, 0.0);
+  for (std::uint16_t c = 1; c <= 3; ++c)
+    adv.observe_key(LayerKeyId{c, LayerKeyId::kSharedHolder},
+                    key_of(static_cast<std::uint8_t>(c)), 0.0);
+  const auto secret = adv.attempt_restore(0.5);
+  ASSERT_TRUE(secret.has_value());
+  EXPECT_EQ(*secret, bytes_of("early!"));
+  EXPECT_EQ(adv.earliest_secret_time(), 0.5);
+}
+
+TEST(Adversary, MissingMiddleKeyBlocksRestore) {
+  // Fig. 2(b), K3 case: a gap in the key chain stops the attack even with
+  // keys on both sides of it.
+  crypto::Drbg drbg(std::uint64_t{5});
+  std::vector<ColumnBuildSpec> specs(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    specs[c].holder_keys = {key_of(static_cast<std::uint8_t>(c + 1))};
+    specs[c].envelopes.resize(1);
+    if (c == 2)
+      specs[c].envelopes[0].terminal_payload = bytes_of("safe");
+    else
+      specs[c].envelopes[0].next_hops = {node("n")};
+  }
+  const Bytes onion = build_onion(specs, drbg);
+
+  Adversary adv(config_with(1, 1));
+  adv.observe_package(onion, 0.0);
+  adv.observe_key(LayerKeyId{1, LayerKeyId::kSharedHolder}, key_of(1), 0.0);
+  adv.observe_key(LayerKeyId{3, LayerKeyId::kSharedHolder}, key_of(3), 0.0);
+  EXPECT_FALSE(adv.attempt_restore(1.0).has_value());
+  // Handing over the missing key unlocks everything already captured.
+  adv.observe_key(LayerKeyId{2, LayerKeyId::kSharedHolder}, key_of(2), 2.0);
+  EXPECT_TRUE(adv.attempt_restore(2.0).has_value());
+}
+
+TEST(Adversary, ReconstructsKeysFromEnoughShares) {
+  crypto::Drbg drbg(std::uint64_t{6});
+  const Bytes key_bytes = Bytes(32, 0x5a);
+  auto shares = crypto::shamir_split(key_bytes, 2, 4, drbg);
+
+  Adversary adv(config_with(1, 2));
+  const LayerKeyId id{3, LayerKeyId::kSharedHolder};
+  adv.observe_share(id, shares[0], 0.0);
+  EXPECT_EQ(adv.known_keys(), 0u);
+  adv.observe_share(id, shares[2], 0.0);
+  adv.attempt_restore(0.0);  // triggers reconstruction
+  EXPECT_EQ(adv.known_keys(), 1u);
+}
+
+TEST(Adversary, ShareSchemeEndToEndRestore) {
+  // Column-1 key known directly; column-2 key only as shares inside the
+  // column-1 envelopes. Two of three captured envelopes are enough.
+  crypto::Drbg drbg(std::uint64_t{7});
+  crypto::Drbg key_source(std::uint64_t{8});
+  const Bytes k2 = key_source.bytes(32);
+  auto k2_shares = crypto::shamir_split(k2, 2, 3, drbg);
+
+  std::vector<ColumnBuildSpec> specs(2);
+  specs[0].holder_keys = {key_of(1), key_of(1), key_of(1)};
+  specs[0].envelopes.resize(3);
+  for (std::size_t h = 0; h < 3; ++h) {
+    specs[0].envelopes[h].next_hops = {node("t0")};
+    specs[0].envelopes[h].shares.push_back(TargetedShare{0, k2_shares[h]});
+  }
+  specs[1].holder_keys = {crypto::SymmetricKey::from_bytes(k2)};
+  specs[1].envelopes.resize(1);
+  specs[1].envelopes[0].terminal_payload = bytes_of("share-secret");
+  const Bytes onion = build_onion(specs, drbg);
+
+  Adversary adv(config_with(3, 2));  // all 3 column-1 holders are slots
+  adv.observe_package(onion, 0.0);
+  adv.observe_key(LayerKeyId{1, LayerKeyId::kSharedHolder}, key_of(1), 0.0);
+  const auto secret = adv.attempt_restore(1.0);
+  ASSERT_TRUE(secret.has_value());
+  EXPECT_EQ(*secret, bytes_of("share-secret"));
+}
+
+TEST(Adversary, InsufficientSharesBlockRestore) {
+  crypto::Drbg drbg(std::uint64_t{9});
+  crypto::Drbg key_source(std::uint64_t{10});
+  const Bytes k2 = key_source.bytes(32);
+  auto k2_shares = crypto::shamir_split(k2, 3, 3, drbg);  // need all three
+
+  std::vector<ColumnBuildSpec> specs(2);
+  specs[0].holder_keys = {key_of(1), key_of(2), key_of(3)};
+  specs[0].envelopes.resize(3);
+  for (std::size_t h = 0; h < 3; ++h) {
+    specs[0].envelopes[h].next_hops = {node("t")};
+    specs[0].envelopes[h].shares.push_back(TargetedShare{0, k2_shares[h]});
+  }
+  specs[1].holder_keys = {crypto::SymmetricKey::from_bytes(k2)};
+  specs[1].envelopes.resize(1);
+  specs[1].envelopes[0].terminal_payload = bytes_of("still safe");
+  const Bytes onion = build_onion(specs, drbg);
+
+  // Adversary controls only holders 0 and 1 (their keys): 2 of 3 shares.
+  Adversary adv(config_with(1, 3));
+  adv.observe_package(onion, 0.0);
+  adv.observe_key(LayerKeyId{1, LayerKeyId::kSharedHolder}, key_of(1), 0.0);
+  adv.observe_key(LayerKeyId{1, 1}, key_of(2), 0.0);
+  EXPECT_FALSE(adv.attempt_restore(1.0).has_value());
+}
+
+TEST(Adversary, GarbagePackagesAreIgnored) {
+  Adversary adv(config_with(1, 1));
+  adv.observe_package(bytes_of("not an onion at all"), 0.0);
+  EXPECT_FALSE(adv.attempt_restore(0.0).has_value());
+}
+
+}  // namespace
+}  // namespace emergence::core

@@ -1,0 +1,197 @@
+// Tests for Algorithm 1 (the key-share routing planner).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/binomial.hpp"
+#include "common/error.hpp"
+#include "emerge/algorithm1.hpp"
+
+namespace emergence::core {
+namespace {
+
+Alg1Inputs base_inputs() {
+  Alg1Inputs in;
+  in.shape = PathShape{4, 10};
+  in.node_budget = 1000;
+  in.emerging_time = 3.0;  // alpha = 3
+  in.mean_lifetime = 1.0;
+  in.p = 0.2;
+  return in;
+}
+
+TEST(Algorithm1, LineOneUniformAllocation) {
+  const Alg1Plan plan = run_algorithm1(base_inputs());
+  EXPECT_EQ(plan.n, 100u);  // floor(1000 / 10)
+}
+
+TEST(Algorithm1, LineTwoDeathProbability) {
+  const Alg1Plan plan = run_algorithm1(base_inputs());
+  // pdead = 1 - e^{-T/(λ l)} = 1 - e^{-0.3}
+  EXPECT_NEAR(plan.pdead, 1.0 - std::exp(-0.3), 1e-12);
+}
+
+TEST(Algorithm1, LineThreeDeadShares) {
+  const Alg1Plan plan = run_algorithm1(base_inputs());
+  EXPECT_EQ(plan.d, static_cast<std::size_t>(std::floor(
+                        plan.pdead * static_cast<double>(plan.n))));
+}
+
+TEST(Algorithm1, OneColumnEntryPerColumnBeyondFirst) {
+  const Alg1Plan plan = run_algorithm1(base_inputs());
+  EXPECT_EQ(plan.columns.size(), base_inputs().shape.l - 1);
+  for (std::size_t i = 0; i < plan.columns.size(); ++i)
+    EXPECT_EQ(plan.columns[i].column, i + 2);
+}
+
+TEST(Algorithm1, ThresholdBalancesTheTwoTails) {
+  const Alg1Inputs in = base_inputs();
+  const Alg1Plan plan = run_algorithm1(in);
+  const std::size_t alive = plan.n - plan.d;
+  for (const Alg1Column& col : plan.columns) {
+    const double gap_at_m = std::fabs(col.release_tail - col.drop_tail);
+    // No other m can do strictly better (line 8's minimization).
+    for (std::size_t m = 1; m <= plan.n; ++m) {
+      const double release = binom_tail_ge(plan.n, m, in.p);
+      const double drop =
+          m > alive ? 1.0 : binom_tail_ge(alive, alive - m + 1, in.p);
+      EXPECT_GE(std::fabs(release - drop) + 1e-12, gap_at_m);
+    }
+  }
+}
+
+TEST(Algorithm1, ThresholdBetweenBinomialMeans) {
+  // For a balanced plan, m must exceed the adversary's expected share count
+  // (n*p) and stay below the honest-alive expectation ((n-d)(1-p)).
+  const Alg1Inputs in = base_inputs();
+  const Alg1Plan plan = run_algorithm1(in);
+  const double np = static_cast<double>(plan.n) * in.p;
+  const double honest_alive =
+      static_cast<double>(plan.n - plan.d) * (1.0 - in.p) + 1.0;
+  for (const Alg1Column& col : plan.columns) {
+    EXPECT_GT(static_cast<double>(col.m), np * 0.5);
+    EXPECT_LT(static_cast<double>(col.m), honest_alive + 1.0);
+  }
+}
+
+TEST(Algorithm1, CumulativeProbabilitiesAreMonotone) {
+  const Alg1Plan plan = run_algorithm1(base_inputs());
+  double prev_pr = 0.0, prev_pd = 0.0;
+  for (const Alg1Column& col : plan.columns) {
+    EXPECT_GE(col.pr + 1e-15, prev_pr);  // line 9 accumulates
+    EXPECT_GE(col.pd + 1e-15, prev_pd);
+    prev_pr = col.pr;
+    prev_pd = col.pd;
+  }
+}
+
+TEST(Algorithm1, ResilienceInUnitInterval) {
+  for (double p : {0.0, 0.1, 0.3, 0.5}) {
+    Alg1Inputs in = base_inputs();
+    in.p = p;
+    const Alg1Plan plan = run_algorithm1(in);
+    EXPECT_GE(plan.resilience.release_ahead, 0.0);
+    EXPECT_LE(plan.resilience.release_ahead, 1.0);
+    EXPECT_GE(plan.resilience.drop, 0.0);
+    EXPECT_LE(plan.resilience.drop, 1.0);
+  }
+}
+
+TEST(Algorithm1, HighResilienceAtLowP) {
+  Alg1Inputs in = base_inputs();
+  in.p = 0.1;
+  const Alg1Plan plan = run_algorithm1(in);
+  EXPECT_GT(plan.resilience.combined(), 0.99);
+}
+
+TEST(Algorithm1, CollapsesAtHighP) {
+  Alg1Inputs in = base_inputs();
+  in.p = 0.48;
+  const Alg1Plan plan = run_algorithm1(in);
+  EXPECT_LT(plan.resilience.combined(), 0.5);
+}
+
+TEST(Algorithm1, SharperWithBiggerBudget) {
+  // More shares per column -> sharper binomial threshold -> resilience at a
+  // fixed sub-critical p improves (Fig. 8's story).
+  Alg1Inputs small = base_inputs();
+  small.node_budget = 100;
+  small.p = 0.22;
+  Alg1Inputs large = base_inputs();
+  large.node_budget = 10000;
+  large.p = 0.22;
+  EXPECT_GT(run_algorithm1(large).resilience.combined(),
+            run_algorithm1(small).resilience.combined());
+}
+
+TEST(Algorithm1, ChurnToleranceByDesign) {
+  // Increasing alpha raises d but the m-selection re-balances: resilience
+  // at moderate p should degrade only mildly (the share scheme's selling
+  // point, Fig. 7).
+  Alg1Inputs calm = base_inputs();
+  calm.emerging_time = 1.0;
+  calm.p = 0.2;
+  Alg1Inputs stormy = base_inputs();
+  stormy.emerging_time = 5.0;
+  stormy.p = 0.2;
+  const double r_calm = run_algorithm1(calm).resilience.combined();
+  const double r_stormy = run_algorithm1(stormy).resilience.combined();
+  EXPECT_GT(r_stormy, 0.95);
+  EXPECT_LE(r_stormy, r_calm + 1e-9);
+}
+
+TEST(Algorithm1, IndependentModeIsMoreOptimistic) {
+  // Without cumulative accumulation the per-column probabilities are
+  // smaller, so predicted resilience can only improve.
+  Alg1Inputs printed = base_inputs();
+  printed.p = 0.3;
+  Alg1Inputs indep = printed;
+  indep.mode = Alg1Mode::kIndependentColumns;
+  const Alg1Plan plan_printed = run_algorithm1(printed);
+  const Alg1Plan plan_indep = run_algorithm1(indep);
+  EXPECT_GE(plan_indep.resilience.release_ahead + 1e-12,
+            plan_printed.resilience.release_ahead);
+  EXPECT_GE(plan_indep.resilience.drop + 1e-12, plan_printed.resilience.drop);
+}
+
+TEST(Algorithm1, ThresholdForColumnLookup) {
+  const Alg1Plan plan = run_algorithm1(base_inputs());
+  EXPECT_EQ(plan.threshold_for_column(2), plan.columns.front().m);
+  EXPECT_EQ(plan.threshold_for_column(base_inputs().shape.l),
+            plan.columns.back().m);
+  EXPECT_EQ(plan.threshold_for_column(1), 1u);  // no shares for column 1
+}
+
+TEST(Algorithm1, SingleColumnDegeneratesToReplication) {
+  Alg1Inputs in = base_inputs();
+  in.shape = PathShape{3, 1};
+  const Alg1Plan plan = run_algorithm1(in);
+  EXPECT_TRUE(plan.columns.empty());
+  // Rr = (1-p)^k: the k terminal slots hold the secret directly.
+  EXPECT_NEAR(plan.resilience.release_ahead, std::pow(1.0 - in.p, 3), 1e-9);
+}
+
+TEST(Algorithm1, ValidatesInputs) {
+  Alg1Inputs in = base_inputs();
+  in.node_budget = 5;  // fewer than l nodes
+  EXPECT_THROW(run_algorithm1(in), PreconditionError);
+  in = base_inputs();
+  in.p = 1.5;
+  EXPECT_THROW(run_algorithm1(in), PreconditionError);
+  in = base_inputs();
+  in.mean_lifetime = 0.0;
+  EXPECT_THROW(run_algorithm1(in), PreconditionError);
+}
+
+TEST(Algorithm1, ZeroPIsPerfect) {
+  Alg1Inputs in = base_inputs();
+  in.p = 0.0;
+  const Alg1Plan plan = run_algorithm1(in);
+  EXPECT_DOUBLE_EQ(plan.resilience.release_ahead, 1.0);
+  // Drop can still fail through churn when d eats into the threshold, but
+  // with balanced m it should stay essentially perfect.
+  EXPECT_GT(plan.resilience.drop, 0.999);
+}
+
+}  // namespace
+}  // namespace emergence::core

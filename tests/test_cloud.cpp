@@ -1,0 +1,70 @@
+// Tests for the cloud blob store (availability substrate of Fig. 1).
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_store.hpp"
+
+namespace emergence::cloud {
+namespace {
+
+TEST(CloudStore, UploadDownloadRoundTrip) {
+  CloudStore cloud;
+  const BlobId id = cloud.upload(bytes_of("ciphertext"), "token-bob");
+  const DownloadResult r = cloud.download(id, "token-bob");
+  EXPECT_EQ(r.status, CloudStatus::kOk);
+  EXPECT_EQ(r.ciphertext, bytes_of("ciphertext"));
+}
+
+TEST(CloudStore, BlobIdIsContentHash) {
+  CloudStore cloud;
+  const BlobId a = cloud.upload(bytes_of("same"), "t");
+  const BlobId b = cloud.upload(bytes_of("same"), "t");
+  const BlobId c = cloud.upload(bytes_of("different"), "t");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(CloudStore, WrongTokenIsUnauthorized) {
+  CloudStore cloud;
+  const BlobId id = cloud.upload(bytes_of("secret blob"), "token-bob");
+  const DownloadResult r = cloud.download(id, "token-eve");
+  EXPECT_EQ(r.status, CloudStatus::kUnauthorized);
+  EXPECT_TRUE(r.ciphertext.empty());
+  EXPECT_EQ(cloud.unauthorized_attempts(), 1u);
+}
+
+TEST(CloudStore, MissingBlobNotFound) {
+  CloudStore cloud;
+  EXPECT_EQ(cloud.download("nope", "t").status, CloudStatus::kNotFound);
+}
+
+TEST(CloudStore, RemoveDeletesBlob) {
+  CloudStore cloud;
+  const BlobId id = cloud.upload(bytes_of("x"), "t");
+  EXPECT_TRUE(cloud.remove(id));
+  EXPECT_FALSE(cloud.remove(id));
+  EXPECT_EQ(cloud.download(id, "t").status, CloudStatus::kNotFound);
+}
+
+TEST(CloudStore, CountsBlobsAndAttempts) {
+  CloudStore cloud;
+  const BlobId id1 = cloud.upload(bytes_of("1"), "t");
+  cloud.upload(bytes_of("2"), "t");
+  EXPECT_EQ(cloud.blob_count(), 2u);
+  cloud.download(id1, "t");
+  cloud.download(id1, "bad");
+  cloud.download("missing", "t");
+  EXPECT_EQ(cloud.download_attempts(), 3u);
+  EXPECT_EQ(cloud.unauthorized_attempts(), 1u);
+}
+
+TEST(CloudStore, CiphertextAvailableAnytime) {
+  // The cloud is trusted for availability only: downloads succeed before the
+  // release time -- without the key the blob is useless, which is the point.
+  CloudStore cloud;
+  const BlobId id = cloud.upload(bytes_of("enc"), "receiver");
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(cloud.download(id, "receiver").status, CloudStatus::kOk);
+}
+
+}  // namespace
+}  // namespace emergence::cloud

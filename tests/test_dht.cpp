@@ -1,0 +1,485 @@
+// Tests for the Chord DHT substrate: identifier arithmetic, ring
+// construction, iterative lookup, maintenance under joins/failures,
+// replicated storage and the churn driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/churn_driver.hpp"
+#include "dht/node_id.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::dht {
+namespace {
+
+NodeId id_from_byte(std::uint8_t msb) {
+  Bytes raw(kIdBytes, 0);
+  raw[0] = msb;
+  return NodeId::from_bytes(raw);
+}
+
+// -- NodeId ---------------------------------------------------------------------
+
+TEST(NodeId, HashIsDeterministicAndSized) {
+  const NodeId a = NodeId::hash_of_text("node-1");
+  const NodeId b = NodeId::hash_of_text("node-1");
+  const NodeId c = NodeId::hash_of_text("node-2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.to_hex().size(), 2 * kIdBytes);
+}
+
+TEST(NodeId, HexRoundTrip) {
+  const NodeId a = NodeId::hash_of_text("x");
+  EXPECT_EQ(NodeId::from_hex(a.to_hex()), a);
+}
+
+TEST(NodeId, FromBytesValidatesLength) {
+  EXPECT_THROW(NodeId::from_bytes(Bytes(19, 0)), PreconditionError);
+  EXPECT_THROW(NodeId::from_bytes(Bytes(21, 0)), PreconditionError);
+}
+
+TEST(NodeId, AddPowerOfTwoSmall) {
+  const NodeId zero = id_from_byte(0);
+  const NodeId one = zero.add_power_of_two(0);
+  Bytes expected(kIdBytes, 0);
+  expected[kIdBytes - 1] = 1;
+  EXPECT_EQ(one, NodeId::from_bytes(expected));
+}
+
+TEST(NodeId, AddPowerOfTwoCarryPropagates) {
+  Bytes raw(kIdBytes, 0);
+  raw[kIdBytes - 1] = 0xff;
+  const NodeId id = NodeId::from_bytes(raw);
+  const NodeId sum = id.add_power_of_two(0);  // 0xff + 1 = 0x100
+  Bytes expected(kIdBytes, 0);
+  expected[kIdBytes - 2] = 0x01;
+  EXPECT_EQ(sum, NodeId::from_bytes(expected));
+}
+
+TEST(NodeId, AddPowerOfTwoWrapsAround) {
+  Bytes raw(kIdBytes, 0xff);
+  const NodeId max = NodeId::from_bytes(raw);
+  const NodeId wrapped = max.add_power_of_two(0);
+  EXPECT_EQ(wrapped, id_from_byte(0));
+}
+
+TEST(NodeId, AddHighestPower) {
+  const NodeId zero = id_from_byte(0);
+  const NodeId half = zero.add_power_of_two(kIdBits - 1);
+  EXPECT_EQ(half, id_from_byte(0x80));
+}
+
+TEST(NodeId, AddPowerOutOfRangeThrows) {
+  EXPECT_THROW(id_from_byte(0).add_power_of_two(kIdBits), PreconditionError);
+}
+
+TEST(NodeId, DistanceLow64) {
+  const NodeId a = id_from_byte(0);
+  const NodeId b = a.add_power_of_two(10);
+  EXPECT_EQ(a.distance_low64(b), 1024u);
+  EXPECT_EQ(b.distance_low64(b), 0u);
+}
+
+TEST(NodeId, OpenIntervalNoWrap) {
+  const NodeId a = id_from_byte(10), b = id_from_byte(20);
+  EXPECT_TRUE(in_open_interval(id_from_byte(15), a, b));
+  EXPECT_FALSE(in_open_interval(a, a, b));
+  EXPECT_FALSE(in_open_interval(b, a, b));
+  EXPECT_FALSE(in_open_interval(id_from_byte(25), a, b));
+}
+
+TEST(NodeId, OpenIntervalWraps) {
+  const NodeId a = id_from_byte(200), b = id_from_byte(10);
+  EXPECT_TRUE(in_open_interval(id_from_byte(250), a, b));
+  EXPECT_TRUE(in_open_interval(id_from_byte(5), a, b));
+  EXPECT_FALSE(in_open_interval(id_from_byte(100), a, b));
+}
+
+TEST(NodeId, OpenIntervalEmptyWhenEqualEndpoints) {
+  const NodeId a = id_from_byte(7);
+  EXPECT_FALSE(in_open_interval(id_from_byte(7), a, a));
+  EXPECT_FALSE(in_open_interval(id_from_byte(8), a, a));
+}
+
+TEST(NodeId, HalfOpenIntervalIncludesUpperBound) {
+  const NodeId a = id_from_byte(10), b = id_from_byte(20);
+  EXPECT_TRUE(in_half_open_interval(b, a, b));
+  EXPECT_FALSE(in_half_open_interval(a, a, b));
+  EXPECT_TRUE(in_half_open_interval(id_from_byte(20), a, b));
+}
+
+TEST(NodeId, HalfOpenIntervalFullRing) {
+  // (a, a] is the whole ring: a single node owns every key.
+  const NodeId a = id_from_byte(50);
+  EXPECT_TRUE(in_half_open_interval(id_from_byte(0), a, a));
+  EXPECT_TRUE(in_half_open_interval(id_from_byte(200), a, a));
+  EXPECT_TRUE(in_half_open_interval(a, a, a));
+}
+
+// -- network fixtures --------------------------------------------------------------
+
+struct TestNet {
+  sim::Simulator sim;
+  Rng rng{12345};
+  NetworkConfig config;
+  std::unique_ptr<ChordNetwork> net;
+
+  explicit TestNet(std::size_t nodes, bool maintenance = false) {
+    config.run_maintenance = maintenance;
+    net = std::make_unique<ChordNetwork>(sim, rng, config);
+    if (nodes > 0) net->bootstrap(nodes);
+  }
+};
+
+/// Collects the ring order by walking successors from the lowest id.
+std::vector<NodeId> walk_ring(ChordNetwork& net) {
+  std::vector<NodeId> ids = net.alive_ids();
+  std::sort(ids.begin(), ids.end());
+  std::vector<NodeId> walked;
+  NodeId cur = ids.front();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    walked.push_back(cur);
+    cur = net.node(cur)->successor();
+  }
+  return walked;
+}
+
+TEST(ChordBootstrap, RingIsSortedAndClosed) {
+  TestNet t(32);
+  std::vector<NodeId> ids = t.net->alive_ids();
+  std::sort(ids.begin(), ids.end());
+  const std::vector<NodeId> walked = walk_ring(*t.net);
+  EXPECT_EQ(walked, ids);
+  // Walking n successors returns to the start.
+  EXPECT_EQ(t.net->node(walked.back())->successor(), ids.front());
+}
+
+TEST(ChordBootstrap, PredecessorsMatchSuccessors) {
+  TestNet t(16);
+  for (const NodeId& id : t.net->alive_ids()) {
+    const NodeId succ = t.net->node(id)->successor();
+    ASSERT_TRUE(t.net->node(succ)->predecessor().has_value());
+    EXPECT_EQ(*t.net->node(succ)->predecessor(), id);
+  }
+}
+
+TEST(ChordBootstrap, FingersPointToFirstNodeAtOrAfterStart) {
+  TestNet t(24);
+  std::vector<NodeId> ids = t.net->alive_ids();
+  std::sort(ids.begin(), ids.end());
+  const ChordNode* n = t.net->node(ids[3]);
+  for (std::size_t p = 0; p < kIdBits; p += 31) {
+    const NodeId start = n->id().add_power_of_two(p);
+    auto it = std::lower_bound(ids.begin(), ids.end(), start);
+    const NodeId expected = it == ids.end() ? ids.front() : *it;
+    ASSERT_TRUE(n->fingers()[p].has_value());
+    EXPECT_EQ(*n->fingers()[p], expected);
+  }
+}
+
+TEST(ChordLookup, FindsResponsibleNode) {
+  TestNet t(64);
+  std::vector<NodeId> ids = t.net->alive_ids();
+  std::sort(ids.begin(), ids.end());
+  for (int i = 0; i < 50; ++i) {
+    const NodeId key = NodeId::hash_of_text("key-" + std::to_string(i));
+    const LookupResult result = t.net->lookup(key);
+    ASSERT_TRUE(result.ok);
+    auto it = std::lower_bound(ids.begin(), ids.end(), key);
+    const NodeId expected = it == ids.end() ? ids.front() : *it;
+    EXPECT_EQ(result.node, expected) << "key " << key.short_hex();
+  }
+}
+
+TEST(ChordLookup, HopCountIsLogarithmic) {
+  TestNet t(256);
+  for (int i = 0; i < 100; ++i)
+    t.net->lookup(NodeId::hash_of_text("k" + std::to_string(i)));
+  // log2(256) = 8; allow headroom but reject linear scans.
+  EXPECT_LT(t.net->lookup_stats().mean_hops(), 12.0);
+  EXPECT_EQ(t.net->lookup_stats().failures, 0u);
+}
+
+TEST(ChordLookup, SingleNodeOwnsEverything) {
+  TestNet t(1);
+  const LookupResult result = t.net->lookup(NodeId::hash_of_text("any"));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.node, t.net->alive_ids().front());
+}
+
+TEST(ChordJoin, JoinedNodeEntersRing) {
+  TestNet t(16);
+  const NodeId fresh = t.net->add_node();
+  t.net->run_maintenance_round();
+  t.net->run_maintenance_round();
+  std::vector<NodeId> ids = t.net->alive_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids.size(), 17u);
+  EXPECT_EQ(walk_ring(*t.net), ids);
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), fresh));
+}
+
+TEST(ChordJoin, JoinTransfersResponsibleKeys) {
+  TestNet t(8);
+  // Store 50 keys, add a node, check it received what it now owns.
+  for (int i = 0; i < 50; ++i) {
+    const NodeId key = NodeId::hash_of_text("kv-" + std::to_string(i));
+    ASSERT_TRUE(t.net->put(key, bytes_of("v" + std::to_string(i))));
+  }
+  const NodeId fresh = t.net->add_node();
+  t.net->run_maintenance_round();
+  const ChordNode* n = t.net->node(fresh);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId key = NodeId::hash_of_text("kv-" + std::to_string(i));
+    if (n->responsible_for(key)) {
+      EXPECT_TRUE(n->storage().contains(key))
+          << "joined node missing key it owns";
+    }
+  }
+}
+
+TEST(ChordLeave, GracefulLeaveHandsKeysOver) {
+  TestNet t(8);
+  const NodeId key = NodeId::hash_of_text("precious");
+  ASSERT_TRUE(t.net->put(key, bytes_of("data")));
+  const LookupResult owner = t.net->lookup(key);
+  t.net->remove_node(owner.node);
+  t.net->run_maintenance_round();
+  const auto value = t.net->get(key);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, bytes_of("data"));
+}
+
+TEST(ChordFail, LookupsRouteAroundDeadNodes) {
+  TestNet t(64);
+  Rng pick(99);
+  // Kill 10 random nodes abruptly.
+  for (int i = 0; i < 10; ++i) {
+    const auto& ids = t.net->alive_ids();
+    t.net->kill_node(ids[pick.index(ids.size())]);
+  }
+  t.net->run_maintenance_round();
+  t.net->run_maintenance_round();
+  for (int i = 0; i < 30; ++i) {
+    const LookupResult r =
+        t.net->lookup(NodeId::hash_of_text("q" + std::to_string(i)));
+    EXPECT_TRUE(r.ok);
+    EXPECT_NE(t.net->live_node(r.node), nullptr);
+  }
+}
+
+TEST(ChordFail, ReplicationSurvivesPrimaryDeath) {
+  TestNet t(32);
+  const NodeId key = NodeId::hash_of_text("replicated-key");
+  ASSERT_TRUE(t.net->put(key, bytes_of("payload")));
+  const LookupResult owner = t.net->lookup(key);
+  t.net->kill_node(owner.node);
+  t.net->run_maintenance_round();
+  const auto value = t.net->get(key);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, bytes_of("payload"));
+}
+
+TEST(ChordFail, ReplicaMaintenanceRestoresReplicationFactor) {
+  TestNet t(32);
+  const NodeId key = NodeId::hash_of_text("refreshed-key");
+  ASSERT_TRUE(t.net->put(key, bytes_of("x")));
+  const LookupResult owner = t.net->lookup(key);
+  t.net->kill_node(owner.node);
+  t.net->run_maintenance_round();
+  t.net->run_maintenance_round();
+  // Count copies across live nodes: should be back to replication_factor.
+  std::size_t copies = 0;
+  for (const NodeId& id : t.net->alive_ids())
+    copies += t.net->node(id)->storage().contains(key) ? 1 : 0;
+  EXPECT_GE(copies, t.config.replication_factor);
+}
+
+TEST(ChordStorage, PutGetRoundTrip) {
+  TestNet t(16);
+  const NodeId key = NodeId::hash_of_text("k");
+  EXPECT_FALSE(t.net->get(key).has_value());
+  ASSERT_TRUE(t.net->put(key, bytes_of("value")));
+  const auto v = t.net->get(key);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, bytes_of("value"));
+}
+
+TEST(ChordStorage, PutReplicatesToSuccessors) {
+  TestNet t(16);
+  const NodeId key = NodeId::hash_of_text("fan-out");
+  ASSERT_TRUE(t.net->put(key, bytes_of("v")));
+  std::size_t copies = 0;
+  for (const NodeId& id : t.net->alive_ids())
+    copies += t.net->node(id)->storage().contains(key) ? 1 : 0;
+  EXPECT_EQ(copies, t.config.replication_factor);
+}
+
+TEST(ChordStorage, StoreObserverFires) {
+  TestNet t(8);
+  std::size_t observed = 0;
+  t.net->set_store_observer(
+      [&](const NodeId&, const NodeId&, BytesView) { ++observed; });
+  t.net->put(NodeId::hash_of_text("watched"), bytes_of("v"));
+  EXPECT_EQ(observed, t.config.replication_factor);
+}
+
+TEST(ChordMessaging, MessageDeliveredWithLatency) {
+  TestNet t(4);
+  const NodeId from = t.net->alive_ids()[0];
+  const NodeId to = t.net->alive_ids()[1];
+  bool delivered = false;
+  t.net->set_message_handler(to, [&](const NodeId& f, const NodeId& target,
+                                     BytesView payload) {
+    EXPECT_EQ(f, from);
+    EXPECT_EQ(target, to);
+    EXPECT_EQ(string_of(payload), "ping");
+    delivered = true;
+  });
+  t.net->send_message(from, to, bytes_of("ping"));
+  EXPECT_FALSE(delivered);  // in flight
+  t.sim.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(t.sim.now(), 0.0);
+  EXPECT_LE(t.sim.now(), t.config.max_message_latency);
+}
+
+TEST(ChordMessaging, RoutedMessageFollowsResponsibility) {
+  TestNet t(64);
+  const NodeId ring_point = NodeId::hash_of_text("slot-position");
+  const LookupResult initial = t.net->lookup(ring_point);
+  ASSERT_TRUE(initial.ok);
+
+  NodeId received_at;
+  t.net->set_default_message_handler(
+      [&](const NodeId&, const NodeId& to, BytesView) { received_at = to; });
+
+  t.net->send_message_routed(ring_point, ring_point, bytes_of("p1"));
+  t.sim.run();
+  EXPECT_EQ(received_at, initial.node);
+
+  // Kill the owner: the routed message re-resolves to the successor.
+  t.net->kill_node(initial.node);
+  t.net->run_maintenance_round();
+  t.net->send_message_routed(ring_point, ring_point, bytes_of("p2"));
+  t.sim.run();
+  EXPECT_NE(received_at, initial.node);
+  EXPECT_NE(t.net->live_node(received_at), nullptr);
+}
+
+TEST(ChordMessaging, MessageToDeadNodeIsLost) {
+  TestNet t(4);
+  const NodeId from = t.net->alive_ids()[0];
+  const NodeId to = t.net->alive_ids()[1];
+  bool delivered = false;
+  t.net->set_message_handler(
+      to, [&](const NodeId&, const NodeId&, BytesView) { delivered = true; });
+  t.net->send_message(from, to, bytes_of("ping"));
+  t.net->kill_node(to);  // dies while the message is in flight
+  t.sim.run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(ChordMaintenance, PeriodicTasksKeepRingCorrectUnderJoins) {
+  TestNet t(16, /*maintenance=*/true);
+  // Let periodic maintenance run, add nodes mid-flight.
+  t.sim.run_until(50.0);
+  t.net->add_node();
+  t.net->add_node();
+  t.sim.run_until(300.0);
+  std::vector<NodeId> ids = t.net->alive_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(walk_ring(*t.net), ids);
+}
+
+// -- churn driver -------------------------------------------------------------------
+
+TEST(ChurnDriver, DeathsFollowConfiguredRate) {
+  TestNet t(200);
+  ChurnConfig config;
+  config.mean_lifetime = 100.0;
+  config.replace_dead_nodes = true;
+  ChurnDriver churn(*t.net, config);
+  churn.start();
+  t.sim.run_until(100.0);  // one mean lifetime
+  churn.stop();
+  // Expected deaths ~ population * (1 - e^-1) renewed ~ population * t/λ;
+  // with replacement the death process is ~Poisson(n*t/λ) = 200.
+  EXPECT_GT(churn.deaths(), 120u);
+  EXPECT_LT(churn.deaths(), 300u);
+  EXPECT_EQ(churn.replacements(), churn.deaths());
+  EXPECT_EQ(t.net->alive_count(), 200u);
+}
+
+TEST(ChurnDriver, WithoutReplacementPopulationShrinks) {
+  TestNet t(100);
+  ChurnConfig config;
+  config.mean_lifetime = 50.0;
+  config.replace_dead_nodes = false;
+  ChurnDriver churn(*t.net, config);
+  churn.start();
+  t.sim.run_until(25.0);  // half a lifetime: ~39% die
+  churn.stop();
+  EXPECT_LT(t.net->alive_count(), 90u);
+  EXPECT_GT(t.net->alive_count(), 30u);
+  EXPECT_EQ(churn.replacements(), 0u);
+}
+
+TEST(ChurnDriver, OnDeathObserverSeesReplacement) {
+  TestNet t(50);
+  ChurnConfig config;
+  config.mean_lifetime = 10.0;
+  ChurnDriver churn(*t.net, config);
+  std::size_t observed = 0;
+  churn.on_death = [&](const NodeId& dead, const NodeId* replacement) {
+    EXPECT_EQ(t.net->live_node(dead), nullptr);
+    EXPECT_NE(replacement, nullptr);
+    ++observed;
+  };
+  churn.start();
+  t.sim.run_until(5.0);
+  churn.stop();
+  EXPECT_EQ(observed, churn.deaths());
+  EXPECT_GT(observed, 0u);
+}
+
+TEST(ChurnDriver, TransientOutagesComeBack) {
+  TestNet t(50);
+  ChurnConfig config;
+  config.mean_lifetime = 5.0;
+  config.transient_fraction = 1.0;  // every outage is transient
+  config.mean_downtime = 1.0;
+  ChurnDriver churn(*t.net, config);
+  churn.start();
+  t.sim.run_until(20.0);
+  churn.stop();
+  t.sim.run();  // drain pending rejoins
+  EXPECT_GT(churn.transient_outages(), 0u);
+  EXPECT_EQ(churn.deaths(), 0u);
+  // Population recovers to (almost) full strength after rejoin events drain.
+  EXPECT_GE(t.net->alive_count(), 45u);
+}
+
+TEST(ChurnDriver, LookupsStillSucceedUnderChurn) {
+  TestNet t(128, /*maintenance=*/true);
+  ChurnConfig config;
+  config.mean_lifetime = 500.0;
+  ChurnDriver churn(*t.net, config);
+  churn.start();
+  for (int epoch = 1; epoch <= 10; ++epoch) {
+    t.sim.run_until(static_cast<double>(epoch) * 20.0);
+    t.net->run_maintenance_round();
+    const LookupResult r =
+        t.net->lookup(NodeId::hash_of_text("live-" + std::to_string(epoch)));
+    EXPECT_TRUE(r.ok);
+  }
+  churn.stop();
+}
+
+}  // namespace
+}  // namespace emergence::dht

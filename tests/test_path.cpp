@@ -1,0 +1,155 @@
+// Tests for pseudo-random path construction (paper §III: the owner
+// "pseudo-randomly selects nodes in the DHT to form the routing paths").
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/error.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/kademlia.hpp"
+#include "emerge/path.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::core {
+namespace {
+
+struct Net {
+  sim::Simulator sim;
+  Rng rng{31337};
+  std::unique_ptr<dht::ChordNetwork> net;
+
+  explicit Net(std::size_t nodes) {
+    dht::NetworkConfig config;
+    config.run_maintenance = false;
+    net = std::make_unique<dht::ChordNetwork>(sim, rng, config);
+    net->bootstrap(nodes);
+  }
+};
+
+TEST(PathLayout, JointGeometryColumnSizes) {
+  Net t(64);
+  crypto::Drbg drbg(std::uint64_t{1});
+  const PathLayout layout = build_path_layout(
+      *t.net, SchemeKind::kJoint, PathShape{3, 4}, /*carriers_n=*/0, drbg);
+  ASSERT_EQ(layout.columns.size(), 4u);
+  for (std::size_t c = 1; c <= 4; ++c)
+    EXPECT_EQ(layout.holders_in_column(c), 3u);
+  EXPECT_EQ(layout.total_holders(), 12u);
+}
+
+TEST(PathLayout, ShareGeometryTerminalColumnHasOnlySlots) {
+  Net t(64);
+  crypto::Drbg drbg(std::uint64_t{2});
+  const PathLayout layout = build_path_layout(
+      *t.net, SchemeKind::kShare, PathShape{2, 3}, /*carriers_n=*/5, drbg);
+  EXPECT_EQ(layout.holders_in_column(1), 5u);
+  EXPECT_EQ(layout.holders_in_column(2), 5u);
+  EXPECT_EQ(layout.holders_in_column(3), 2u);  // Fig. 5: no terminal extras
+  EXPECT_EQ(layout.total_holders(), 12u);
+}
+
+TEST(PathLayout, HoldersAreDistinct) {
+  Net t(64);
+  crypto::Drbg drbg(std::uint64_t{3});
+  const PathLayout layout = build_path_layout(
+      *t.net, SchemeKind::kJoint, PathShape{4, 8}, 0, drbg);
+  std::set<dht::NodeId> seen;
+  for (const auto& column : layout.columns)
+    for (const dht::NodeId& id : column) EXPECT_TRUE(seen.insert(id).second);
+}
+
+TEST(PathLayout, RingPointsResolveToColumns) {
+  Net t(64);
+  crypto::Drbg drbg(std::uint64_t{4});
+  const PathLayout layout = build_path_layout(
+      *t.net, SchemeKind::kJoint, PathShape{2, 3}, 0, drbg);
+  ASSERT_EQ(layout.ring_points.size(), layout.columns.size());
+  for (std::size_t c = 0; c < layout.columns.size(); ++c) {
+    ASSERT_EQ(layout.ring_points[c].size(), layout.columns[c].size());
+    for (std::size_t h = 0; h < layout.columns[c].size(); ++h) {
+      const dht::LookupResult r = t.net->lookup(layout.ring_points[c][h]);
+      ASSERT_TRUE(r.ok);
+      EXPECT_EQ(r.node, layout.columns[c][h]);
+    }
+  }
+}
+
+TEST(PathLayout, DeterministicForSeed) {
+  // Same DRBG seed on an identical network must produce identical layouts:
+  // the sender can regenerate its paths from the seed alone.
+  Net t1(64), t2(64);
+  crypto::Drbg drbg1(std::uint64_t{5}), drbg2(std::uint64_t{5});
+  const PathLayout a = build_path_layout(*t1.net, SchemeKind::kJoint,
+                                         PathShape{3, 3}, 0, drbg1);
+  const PathLayout b = build_path_layout(*t2.net, SchemeKind::kJoint,
+                                         PathShape{3, 3}, 0, drbg2);
+  EXPECT_EQ(a.columns, b.columns);
+  EXPECT_EQ(a.ring_points, b.ring_points);
+}
+
+TEST(PathLayout, DifferentSeedsDiffer) {
+  Net t(128);
+  crypto::Drbg drbg1(std::uint64_t{6}), drbg2(std::uint64_t{7});
+  const PathLayout a = build_path_layout(*t.net, SchemeKind::kJoint,
+                                         PathShape{3, 3}, 0, drbg1);
+  const PathLayout b = build_path_layout(*t.net, SchemeKind::kJoint,
+                                         PathShape{3, 3}, 0, drbg2);
+  EXPECT_NE(a.columns, b.columns);
+}
+
+TEST(PathLayout, ContainsFindsHolders) {
+  Net t(64);
+  crypto::Drbg drbg(std::uint64_t{8});
+  const PathLayout layout = build_path_layout(
+      *t.net, SchemeKind::kJoint, PathShape{2, 2}, 0, drbg);
+  EXPECT_TRUE(layout.contains(layout.columns[1][0]));
+  EXPECT_FALSE(layout.contains(dht::NodeId::hash_of_text("stranger")));
+}
+
+TEST(PathLayout, NotEnoughNodesRejected) {
+  Net t(8);
+  crypto::Drbg drbg(std::uint64_t{9});
+  EXPECT_THROW(build_path_layout(*t.net, SchemeKind::kJoint, PathShape{4, 4},
+                                 0, drbg),
+               PreconditionError);
+}
+
+TEST(PathLayout, ShareNeedsEnoughCarriers) {
+  Net t(64);
+  crypto::Drbg drbg(std::uint64_t{10});
+  EXPECT_THROW(build_path_layout(*t.net, SchemeKind::kShare, PathShape{4, 3},
+                                 /*carriers_n=*/2, drbg),
+               PreconditionError);
+}
+
+TEST(PathLayout, ColumnRangeValidated) {
+  Net t(64);
+  crypto::Drbg drbg(std::uint64_t{11});
+  const PathLayout layout = build_path_layout(
+      *t.net, SchemeKind::kJoint, PathShape{2, 2}, 0, drbg);
+  EXPECT_THROW(layout.holders_in_column(0), PreconditionError);
+  EXPECT_THROW(layout.holders_in_column(3), PreconditionError);
+}
+
+TEST(PathLayout, WorksOverKademlia) {
+  sim::Simulator sim;
+  Rng rng(4242);
+  dht::KademliaConfig config;
+  config.run_maintenance = false;
+  dht::KademliaNetwork net(sim, rng, config);
+  net.bootstrap(64);
+  crypto::Drbg drbg(std::uint64_t{12});
+  const PathLayout layout =
+      build_path_layout(net, SchemeKind::kJoint, PathShape{3, 3}, 0, drbg);
+  std::set<dht::NodeId> seen;
+  for (const auto& column : layout.columns) {
+    for (const dht::NodeId& id : column) {
+      EXPECT_TRUE(seen.insert(id).second);
+      EXPECT_TRUE(net.is_alive(id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emergence::core

@@ -1,0 +1,265 @@
+// Tests for the closed-form resilience models (paper eqs. 1-3, Lemma 1,
+// churn extensions). Small geometries are verified against brute-force
+// enumeration of every malicious/honest holder pattern.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "emerge/resilience.hpp"
+
+namespace emergence::core {
+namespace {
+
+/// Exact probabilities by enumerating all 2^(k*l) maliciousness patterns of
+/// a k x l holder grid (rows = paths, columns = path positions).
+struct BruteForce {
+  double release_success = 0.0;   // every column has a malicious holder
+  double disjoint_drop = 0.0;     // every row has a malicious holder
+  double joint_drop = 0.0;        // some column is fully malicious
+};
+
+BruteForce brute_force(double p, std::size_t k, std::size_t l) {
+  BruteForce out;
+  const std::size_t cells = k * l;
+  for (std::size_t mask = 0; mask < (1u << cells); ++mask) {
+    double prob = 1.0;
+    for (std::size_t c = 0; c < cells; ++c)
+      prob *= (mask >> c) & 1 ? p : 1.0 - p;
+
+    bool all_columns_hit = true, some_column_full = false;
+    for (std::size_t col = 0; col < l; ++col) {
+      bool any = false, all = true;
+      for (std::size_t row = 0; row < k; ++row) {
+        const bool mal = (mask >> (row * l + col)) & 1;
+        any = any || mal;
+        all = all && mal;
+      }
+      all_columns_hit = all_columns_hit && any;
+      some_column_full = some_column_full || all;
+    }
+    bool all_rows_hit = true;
+    for (std::size_t row = 0; row < k; ++row) {
+      bool any = false;
+      for (std::size_t col = 0; col < l; ++col)
+        any = any || ((mask >> (row * l + col)) & 1);
+      all_rows_hit = all_rows_hit && any;
+    }
+
+    if (all_columns_hit) out.release_success += prob;
+    if (all_rows_hit) out.disjoint_drop += prob;
+    if (some_column_full) out.joint_drop += prob;
+  }
+  return out;
+}
+
+TEST(Equations, MatchBruteForceEnumeration) {
+  for (double p : {0.1, 0.3, 0.5, 0.7}) {
+    for (std::size_t k : {1u, 2u, 3u}) {
+      for (std::size_t l : {1u, 2u, 3u, 4u}) {
+        const BruteForce exact = brute_force(p, k, l);
+        const PathShape shape{k, l};
+        EXPECT_NEAR(multipath_release_resilience(p, shape),
+                    1.0 - exact.release_success, 1e-12)
+            << "Rr p=" << p << " k=" << k << " l=" << l;
+        EXPECT_NEAR(disjoint_drop_resilience(p, shape),
+                    1.0 - exact.disjoint_drop, 1e-12)
+            << "Rd-disjoint p=" << p << " k=" << k << " l=" << l;
+        EXPECT_NEAR(joint_drop_resilience(p, shape), 1.0 - exact.joint_drop,
+                    1e-12)
+            << "Rd-joint p=" << p << " k=" << k << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST(Equations, CentralizedIsOneMinusP) {
+  for (double p : {0.0, 0.2, 0.5, 1.0}) {
+    const Resilience r =
+        analytic_resilience(SchemeKind::kCentralized, p, PathShape{1, 1});
+    EXPECT_DOUBLE_EQ(r.release_ahead, 1.0 - p);
+    EXPECT_DOUBLE_EQ(r.drop, 1.0 - p);
+  }
+}
+
+TEST(Equations, PaperExampleTwoByThree) {
+  // The running example of §III: k = 2 paths, l = 3 holders.
+  const PathShape shape{2, 3};
+  const double p = 0.2;
+  // Rr = 1-(1-0.8^2)^3 = 1-0.36^3
+  EXPECT_NEAR(multipath_release_resilience(p, shape),
+              1.0 - std::pow(1.0 - 0.64, 3), 1e-12);
+  // disjoint: Rd = 1-(1-0.8^3)^2
+  EXPECT_NEAR(disjoint_drop_resilience(p, shape),
+              1.0 - std::pow(1.0 - 0.512, 2), 1e-12);
+  // joint: Rd = (1-0.2^2)^3
+  EXPECT_NEAR(joint_drop_resilience(p, shape), std::pow(0.96, 3), 1e-12);
+}
+
+TEST(Equations, EndpointsAreExact) {
+  const PathShape shape{3, 5};
+  EXPECT_DOUBLE_EQ(multipath_release_resilience(0.0, shape), 1.0);
+  EXPECT_DOUBLE_EQ(multipath_release_resilience(1.0, shape), 0.0);
+  EXPECT_DOUBLE_EQ(disjoint_drop_resilience(0.0, shape), 1.0);
+  EXPECT_DOUBLE_EQ(disjoint_drop_resilience(1.0, shape), 0.0);
+  EXPECT_DOUBLE_EQ(joint_drop_resilience(0.0, shape), 1.0);
+  EXPECT_DOUBLE_EQ(joint_drop_resilience(1.0, shape), 0.0);
+}
+
+TEST(Equations, MonotoneInP) {
+  const PathShape shape{4, 6};
+  double prev_rr = 1.1, prev_rd_d = 1.1, prev_rd_j = 1.1;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double rr = multipath_release_resilience(p, shape);
+    const double rd_d = disjoint_drop_resilience(p, shape);
+    const double rd_j = joint_drop_resilience(p, shape);
+    EXPECT_LE(rr, prev_rr + 1e-12);
+    EXPECT_LE(rd_d, prev_rd_d + 1e-12);
+    EXPECT_LE(rd_j, prev_rd_j + 1e-12);
+    prev_rr = rr;
+    prev_rd_d = rd_d;
+    prev_rd_j = rd_j;
+  }
+}
+
+TEST(Equations, ReleaseResilienceImprovesWithL) {
+  // More columns force the adversary to compromise more layers.
+  for (std::size_t l = 1; l < 30; ++l) {
+    EXPECT_LE(multipath_release_resilience(0.3, PathShape{3, l}),
+              multipath_release_resilience(0.3, PathShape{3, l + 1}) + 1e-12);
+  }
+}
+
+TEST(Equations, JointDropResilienceDominatesDisjoint) {
+  // §III-C: node-joint routing can only help the drop resilience.
+  for (double p : {0.1, 0.3, 0.45}) {
+    for (std::size_t k : {2u, 3u, 5u}) {
+      for (std::size_t l : {2u, 4u, 8u}) {
+        EXPECT_GE(joint_drop_resilience(p, PathShape{k, l}) + 1e-12,
+                  disjoint_drop_resilience(p, PathShape{k, l}));
+      }
+    }
+  }
+}
+
+TEST(Equations, StableForExtremeGeometry) {
+  // Large k*l must not underflow to nonsense.
+  const PathShape shape{20, 500};
+  const double rr = multipath_release_resilience(0.4, shape);
+  const double rd = joint_drop_resilience(0.4, shape);
+  EXPECT_GE(rr, 0.0);
+  EXPECT_LE(rr, 1.0);
+  EXPECT_GE(rd, 0.0);
+  EXPECT_LE(rd, 1.0);
+}
+
+TEST(Equations, ShareSchemeRequiresAlgorithm1) {
+  EXPECT_THROW(analytic_resilience(SchemeKind::kShare, 0.1, PathShape{2, 3}),
+               PreconditionError);
+}
+
+// -- Lemma 1 (property sweep) ---------------------------------------------------
+
+class Lemma1Sweep
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(Lemma1Sweep, JointSchemeSatisfiesLemma1) {
+  const auto [p, k, l] = GetParam();
+  // Lemma 1: Rr + Rd > 1 for the node-joint scheme whenever p < 0.5.
+  EXPECT_TRUE(lemma1_holds(p, PathShape{k, l}))
+      << "p=" << p << " k=" << k << " l=" << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma1Sweep,
+    ::testing::Combine(::testing::Values(0.05, 0.15, 0.25, 0.35, 0.45, 0.49),
+                       ::testing::Values<std::size_t>(1, 2, 4, 8),
+                       ::testing::Values<std::size_t>(1, 3, 9, 27)));
+
+TEST(Lemma1, CanFailAtOrAboveHalf) {
+  // The lemma's guarantee is only claimed for p < 0.5; at p slightly above
+  // 0.5 the inequality flips for large geometries.
+  EXPECT_FALSE(lemma1_holds(0.6, PathShape{4, 16}));
+}
+
+// -- churn extensions -------------------------------------------------------------
+
+TEST(ChurnModel, DisabledMatchesNoChurnEquations) {
+  const PathShape shape{3, 4};
+  const ChurnSpec none = ChurnSpec::none();
+  const Resilience plain = analytic_resilience(SchemeKind::kJoint, 0.25, shape);
+  const Resilience churned = joint_churn_resilience(0.25, shape, none);
+  EXPECT_DOUBLE_EQ(plain.release_ahead, churned.release_ahead);
+  EXPECT_DOUBLE_EQ(plain.drop, churned.drop);
+}
+
+TEST(ChurnModel, VanishingAlphaApproachesNoChurn) {
+  const PathShape shape{3, 4};
+  ChurnSpec tiny = ChurnSpec::with_alpha(1e-9);
+  const Resilience churned = joint_churn_resilience(0.25, shape, tiny);
+  const Resilience plain = analytic_resilience(SchemeKind::kJoint, 0.25, shape);
+  EXPECT_NEAR(churned.release_ahead, plain.release_ahead, 1e-6);
+  EXPECT_NEAR(churned.drop, plain.drop, 1e-6);
+}
+
+TEST(ChurnModel, ResilienceDegradesWithAlpha) {
+  const PathShape shape{4, 8};
+  double prev_r = 1.1;
+  for (double alpha : {0.5, 1.0, 2.0, 3.0, 5.0}) {
+    const Resilience r =
+        joint_churn_resilience(0.2, shape, ChurnSpec::with_alpha(alpha));
+    EXPECT_LT(r.combined(), prev_r);
+    prev_r = r.combined();
+  }
+}
+
+TEST(ChurnModel, CentralizedClosedForm) {
+  // Rr = Rd = (1-p) e^{-alpha p}: exposure of a single renewing slot.
+  const double p = 0.2, alpha = 3.0;
+  const Resilience r =
+      centralized_churn_resilience(p, ChurnSpec::with_alpha(alpha));
+  EXPECT_NEAR(r.release_ahead, (1 - p) * std::exp(-alpha * p), 1e-12);
+  EXPECT_NEAR(r.drop, r.release_ahead, 1e-12);
+}
+
+TEST(ChurnModel, CentralizedAtZeroPIsImmortal) {
+  // With no malicious nodes, replication repairs every death: R = 1.
+  const Resilience r =
+      centralized_churn_resilience(0.0, ChurnSpec::with_alpha(5.0));
+  EXPECT_DOUBLE_EQ(r.release_ahead, 1.0);
+}
+
+TEST(ChurnModel, DisjointDropIncludesChurnLoss) {
+  // Even with p = 0, in-transit packages die with their holders.
+  const PathShape shape{2, 10};
+  const Resilience r =
+      disjoint_churn_resilience(0.0, shape, ChurnSpec::with_alpha(3.0));
+  EXPECT_LT(r.drop, 1.0);
+  EXPECT_DOUBLE_EQ(r.release_ahead, 1.0);  // nothing to leak to
+}
+
+TEST(ChurnModel, JointSurvivesChurnBetterThanDisjoint) {
+  const PathShape shape{4, 10};
+  const ChurnSpec churn = ChurnSpec::with_alpha(2.0);
+  const Resilience joint = joint_churn_resilience(0.1, shape, churn);
+  const Resilience disjoint = disjoint_churn_resilience(0.1, shape, churn);
+  EXPECT_GT(joint.drop, disjoint.drop);
+  EXPECT_DOUBLE_EQ(joint.release_ahead, disjoint.release_ahead);
+}
+
+TEST(ChurnModel, DispatcherCoversPatternSchemes) {
+  const ChurnSpec churn = ChurnSpec::with_alpha(1.0);
+  EXPECT_NO_THROW(analytic_churn_resilience(SchemeKind::kCentralized, 0.1,
+                                            PathShape{1, 1}, churn));
+  EXPECT_NO_THROW(analytic_churn_resilience(SchemeKind::kDisjoint, 0.1,
+                                            PathShape{2, 3}, churn));
+  EXPECT_NO_THROW(analytic_churn_resilience(SchemeKind::kJoint, 0.1,
+                                            PathShape{2, 3}, churn));
+  EXPECT_THROW(analytic_churn_resilience(SchemeKind::kShare, 0.1,
+                                         PathShape{2, 3}, churn),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace emergence::core

@@ -1,0 +1,193 @@
+// Property tests for Shamir secret sharing over GF(2^8), including the
+// parameterized (m, n) sweeps the key-share routing scheme relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/shamir.hpp"
+
+namespace emergence::crypto {
+namespace {
+
+using emergence::bytes_of;
+
+Drbg test_drbg() { return Drbg(std::uint64_t{0xdeadbeef}); }
+
+TEST(Shamir, SplitProducesNDistinctIndices) {
+  Drbg drbg = test_drbg();
+  const auto shares = shamir_split(bytes_of("secret"), 3, 7, drbg);
+  ASSERT_EQ(shares.size(), 7u);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    EXPECT_EQ(shares[i].index, i + 1);
+    EXPECT_EQ(shares[i].data.size(), 6u);
+  }
+}
+
+TEST(Shamir, CombineFirstMShares) {
+  Drbg drbg = test_drbg();
+  const Bytes secret = bytes_of("the launch codes");
+  auto shares = shamir_split(secret, 4, 9, drbg);
+  shares.resize(4);
+  EXPECT_EQ(shamir_combine(shares, 4), secret);
+}
+
+TEST(Shamir, CombineAnySubsetOfSizeM) {
+  Drbg drbg = test_drbg();
+  const Bytes secret = bytes_of("xyz");
+  const auto shares = shamir_split(secret, 3, 6, drbg);
+  // All 20 subsets of size 3 from 6 shares.
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = a + 1; b < 6; ++b) {
+      for (std::size_t c = b + 1; c < 6; ++c) {
+        const std::vector<Share> subset{shares[a], shares[b], shares[c]};
+        EXPECT_EQ(shamir_combine(subset, 3), secret)
+            << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(Shamir, CombineWithExtraSharesStillWorks) {
+  Drbg drbg = test_drbg();
+  const Bytes secret = bytes_of("redundant");
+  const auto shares = shamir_split(secret, 2, 5, drbg);
+  EXPECT_EQ(shamir_combine(shares, 2), secret);  // all 5 supplied
+}
+
+TEST(Shamir, TooFewSharesThrows) {
+  Drbg drbg = test_drbg();
+  auto shares = shamir_split(bytes_of("s"), 3, 5, drbg);
+  shares.resize(2);
+  EXPECT_THROW(shamir_combine(shares, 3), CryptoError);
+}
+
+TEST(Shamir, WrongSubsetSizeDoesNotRevealSecret) {
+  // With m-1 shares, interpolation through the wrong threshold must not
+  // yield the secret (try combining m-1 shares with threshold m-1).
+  Drbg drbg = test_drbg();
+  const Bytes secret = bytes_of("hidden!");
+  const auto shares = shamir_split(secret, 3, 5, drbg);
+  const std::vector<Share> two{shares[0], shares[1]};
+  EXPECT_NE(shamir_combine(two, 2), secret);
+}
+
+TEST(Shamir, DuplicateIndicesRejected) {
+  Drbg drbg = test_drbg();
+  const auto shares = shamir_split(bytes_of("s"), 2, 4, drbg);
+  const std::vector<Share> dup{shares[0], shares[0]};
+  EXPECT_THROW(shamir_combine(dup, 2), CryptoError);
+}
+
+TEST(Shamir, MismatchedLengthsRejected) {
+  Drbg drbg = test_drbg();
+  auto shares = shamir_split(bytes_of("abcd"), 2, 4, drbg);
+  shares[1].data.pop_back();
+  const std::vector<Share> bad{shares[0], shares[1]};
+  EXPECT_THROW(shamir_combine(bad, 2), CryptoError);
+}
+
+TEST(Shamir, ZeroIndexRejected) {
+  Drbg drbg = test_drbg();
+  auto shares = shamir_split(bytes_of("abcd"), 2, 4, drbg);
+  shares[0].index = 0;
+  EXPECT_THROW(shamir_combine({shares[0], shares[1]}, 2), CryptoError);
+}
+
+TEST(Shamir, ThresholdOneIsReplication) {
+  Drbg drbg = test_drbg();
+  const Bytes secret = bytes_of("copy");
+  const auto shares = shamir_split(secret, 1, 3, drbg);
+  for (const Share& s : shares)
+    EXPECT_EQ(shamir_combine({s}, 1), secret);
+}
+
+TEST(Shamir, FullThresholdNeedsAllShares) {
+  Drbg drbg = test_drbg();
+  const Bytes secret = bytes_of("all or nothing");
+  const auto shares = shamir_split(secret, 5, 5, drbg);
+  EXPECT_EQ(shamir_combine(shares, 5), secret);
+  std::vector<Share> missing(shares.begin(), shares.begin() + 4);
+  EXPECT_THROW(shamir_combine(missing, 5), CryptoError);
+}
+
+TEST(Shamir, EmptySecretSupported) {
+  Drbg drbg = test_drbg();
+  const auto shares = shamir_split(Bytes{}, 2, 3, drbg);
+  EXPECT_TRUE(shamir_combine(shares, 2).empty());
+}
+
+TEST(Shamir, ParameterValidation) {
+  Drbg drbg = test_drbg();
+  EXPECT_THROW(shamir_split(bytes_of("s"), 0, 3, drbg),
+               emergence::PreconditionError);
+  EXPECT_THROW(shamir_split(bytes_of("s"), 4, 3, drbg),
+               emergence::PreconditionError);
+  EXPECT_THROW(shamir_split(bytes_of("s"), 2, 256, drbg),
+               emergence::PreconditionError);
+  EXPECT_THROW(shamir_combine({}, 0), emergence::PreconditionError);
+}
+
+TEST(Shamir, SharesSerializeRoundTrip) {
+  Drbg drbg = test_drbg();
+  const auto shares = shamir_split(bytes_of("wire"), 2, 3, drbg);
+  for (const Share& s : shares) {
+    EXPECT_EQ(share_from_bytes(share_to_bytes(s)), s);
+  }
+}
+
+TEST(Shamir, SharesDifferFromSecret) {
+  // No share should leak the secret verbatim (degree >= 1 polynomial).
+  Drbg drbg = test_drbg();
+  const Bytes secret = bytes_of("plain");
+  const auto shares = shamir_split(secret, 2, 4, drbg);
+  for (const Share& s : shares) EXPECT_NE(s.data, secret);
+}
+
+// Parameterized sweep over (m, n): the share scheme instantiates many
+// different threshold geometries; every one must round-trip and must
+// tolerate the loss of exactly n - m shares.
+class ShamirGeometry
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ShamirGeometry, RoundTripAndLossTolerance) {
+  const auto [m, n] = GetParam();
+  Drbg drbg(std::uint64_t{m * 1000 + n});
+  const Bytes secret = drbg.bytes(32);  // layer-key sized
+  auto shares = shamir_split(secret, m, n, drbg);
+
+  // Drop n-m shares (keep an arbitrary m-subset: every 2nd surviving).
+  std::vector<Share> survivors;
+  for (std::size_t i = 0; i < shares.size() && survivors.size() < m; ++i) {
+    if (i % 2 == 0 || shares.size() - i <= m - survivors.size())
+      survivors.push_back(shares[i]);
+  }
+  ASSERT_EQ(survivors.size(), m);
+  EXPECT_EQ(shamir_combine(survivors, m), secret);
+
+  if (m > 1) {
+    survivors.pop_back();
+    EXPECT_THROW(shamir_combine(survivors, m), CryptoError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ShamirGeometry,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{1, 5},
+                      std::pair<std::size_t, std::size_t>{2, 3},
+                      std::pair<std::size_t, std::size_t>{3, 5},
+                      std::pair<std::size_t, std::size_t>{5, 8},
+                      std::pair<std::size_t, std::size_t>{10, 20},
+                      std::pair<std::size_t, std::size_t>{17, 31},
+                      std::pair<std::size_t, std::size_t>{64, 128},
+                      std::pair<std::size_t, std::size_t>{128, 255},
+                      std::pair<std::size_t, std::size_t>{255, 255}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.first) + "n" +
+             std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace emergence::crypto

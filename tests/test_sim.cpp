@@ -1,0 +1,150 @@
+// Unit tests for the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_in(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), emergence::PreconditionError);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), emergence::PreconditionError);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  sim.cancel(9999);
+  bool fired = false;
+  sim.schedule_at(1.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  sim.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilIncludesDeadlineEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StepLimitsExecution) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(static_cast<double>(i), [&] { ++count; });
+  EXPECT_EQ(sim.step(2), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.step(100), 3u);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 50) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_in(1.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(sim.now(), 50.0);
+}
+
+TEST(Simulator, ExecutedEventsCounted) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, CancelledEventsNotCounted) {
+  Simulator sim;
+  const EventId id = sim.schedule_in(1.0, [] {});
+  sim.schedule_in(2.0, [] {});
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, PendingReflectsCancellations) {
+  Simulator sim;
+  const EventId a = sim.schedule_in(1.0, [] {});
+  sim.schedule_in(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilPastDeadlineThrows) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.run_until(4.0), emergence::PreconditionError);
+}
+
+}  // namespace
+}  // namespace emergence::sim

@@ -1,0 +1,76 @@
+// Tests for the Sybil/Eclipse provisioning model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "emerge/sybil.hpp"
+
+namespace emergence::core {
+namespace {
+
+TEST(Sybil, AchievedFraction) {
+  const SybilAttack attack{9000, 1000};
+  EXPECT_DOUBLE_EQ(attack.achieved_p(), 0.1);
+  EXPECT_EQ(attack.total_nodes(), 10000u);
+}
+
+TEST(Sybil, EmptyNetworkIsZero) {
+  const SybilAttack attack{0, 0};
+  EXPECT_DOUBLE_EQ(attack.achieved_p(), 0.0);
+}
+
+TEST(Sybil, NeededIdentitiesInvertAchieved) {
+  for (double p : {0.1, 0.25, 0.4, 0.49}) {
+    const std::size_t honest = 10000;
+    const std::size_t s = sybils_needed(honest, p);
+    const SybilAttack attack{honest, s};
+    EXPECT_GE(attack.achieved_p() + 1e-9, p) << p;
+    // One fewer identity must fall short.
+    if (s > 0) {
+      const SybilAttack weaker{honest, s - 1};
+      EXPECT_LT(weaker.achieved_p(), p + 1e-4);
+    }
+  }
+}
+
+TEST(Sybil, ZeroPNeedsNoIdentities) {
+  EXPECT_EQ(sybils_needed(10000, 0.0), 0u);
+}
+
+TEST(Sybil, CostGrowsSuperlinearly) {
+  // p = 1/3 costs 0.5 identities per honest node; p = 1/2 costs 1; the
+  // marginal price of influence rises sharply.
+  EXPECT_NEAR(sybil_cost_factor(1.0 / 3.0), 0.5, 1e-12);
+  EXPECT_LT(sybil_cost_factor(0.2), sybil_cost_factor(0.4));
+  EXPECT_LT(sybil_cost_factor(0.4), sybil_cost_factor(0.45));
+}
+
+TEST(Sybil, LargeNetworksRaiseAttackCost) {
+  // The paper's defense argument: the same p costs 100x the identities in a
+  // 100x larger network.
+  EXPECT_EQ(sybils_needed(100, 0.3), 43u);
+  EXPECT_EQ(sybils_needed(10000, 0.3), 4286u);
+}
+
+TEST(Sybil, ParametersValidated) {
+  EXPECT_THROW(sybils_needed(10, 1.0), PreconditionError);
+  EXPECT_THROW(sybil_cost_factor(-0.1), PreconditionError);
+  EXPECT_THROW(full_eclipse_probability(8, 1.5), PreconditionError);
+}
+
+TEST(Eclipse, FullEclipseProbability) {
+  EXPECT_DOUBLE_EQ(full_eclipse_probability(1, 0.3), 0.3);
+  EXPECT_NEAR(full_eclipse_probability(8, 0.3), std::pow(0.3, 8), 1e-15);
+  EXPECT_DOUBLE_EQ(full_eclipse_probability(8, 0.0), 0.0);
+}
+
+TEST(Eclipse, BiggerTablesResist) {
+  for (std::size_t size = 1; size < 16; ++size) {
+    EXPECT_GT(full_eclipse_probability(size, 0.4),
+              full_eclipse_probability(size + 1, 0.4));
+  }
+}
+
+}  // namespace
+}  // namespace emergence::core

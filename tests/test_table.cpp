@@ -1,0 +1,77 @@
+// Tests for the experiment table printer (the bench harness output format).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "emerge/experiment/table.hpp"
+
+namespace emergence::core {
+namespace {
+
+TEST(FigureTable, PrintsTitleHeadersAndRows) {
+  FigureTable table("My Figure", {"p", "R"});
+  table.add_row({0.1, 0.95});
+  table.add_row({0.2, 0.90});
+  std::ostringstream os;
+  table.print(os, 2);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# My Figure"), std::string::npos);
+  EXPECT_NE(out.find("p"), std::string::npos);
+  EXPECT_NE(out.find("R"), std::string::npos);
+  EXPECT_NE(out.find("0.10"), std::string::npos);
+  EXPECT_NE(out.find("0.95"), std::string::npos);
+}
+
+TEST(FigureTable, CaptionPrinted) {
+  FigureTable table("T", {"x"});
+  table.set_caption("the caption line");
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("# the caption line"), std::string::npos);
+}
+
+TEST(FigureTable, RowWidthValidated) {
+  FigureTable table("T", {"a", "b"});
+  EXPECT_THROW(table.add_row({1.0}), PreconditionError);
+  EXPECT_THROW(table.add_row({1.0, 2.0, 3.0}), PreconditionError);
+  EXPECT_NO_THROW(table.add_row({1.0, 2.0}));
+}
+
+TEST(FigureTable, PerColumnPrecision) {
+  FigureTable table("T", {"p", "count"});
+  table.set_column_precision(1, 0);
+  table.add_row({0.25, 1234.0});
+  std::ostringstream os;
+  table.print(os, 2);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("0.25"), std::string::npos);
+  EXPECT_NE(out.find("1234"), std::string::npos);
+  EXPECT_EQ(out.find("1234.00"), std::string::npos);
+}
+
+TEST(FigureTable, PrecisionColumnValidated) {
+  FigureTable table("T", {"a"});
+  EXPECT_THROW(table.set_column_precision(1, 0), PreconditionError);
+}
+
+TEST(FigureTable, GnuplotFriendlyCommentPrefix) {
+  // Data rows must not start with '#'; metadata rows must.
+  FigureTable table("T", {"x"});
+  table.add_row({1.0});
+  std::ostringstream os;
+  table.print(os);
+  std::istringstream is(os.str());
+  std::string line;
+  bool saw_data = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') continue;
+    saw_data = true;
+    EXPECT_EQ(line.find('#'), std::string::npos);
+  }
+  EXPECT_TRUE(saw_data);
+}
+
+}  // namespace
+}  // namespace emergence::core
