@@ -57,10 +57,18 @@ int main() {
             << (cloud.download(blob, "bob-token").status ==
                 cloud::CloudStatus::kOk)
             << "  |  key released: " << session.secret_released() << "\n";
+  if (session.secret_released() || session.receiver_decrypt("bob-token")) {
+    std::cerr << "key emerged before tr -- this should not happen\n";
+    return 1;
+  }
 
   // -- at tr: the key self-emerges ------------------------------------------
   simulator.run_until(session.release_time() + 1.0);
   std::cout << "\nt = " << simulator.now() << "s (just past tr):\n";
+  if (!session.secret_released() || !session.first_delivery_time()) {
+    std::cerr << "key did not emerge at tr -- this should not happen\n";
+    return 1;
+  }
   std::cout << "  key released: " << session.secret_released()
             << " (delivered at t = " << *session.first_delivery_time()
             << ")\n";
@@ -72,8 +80,14 @@ int main() {
   }
   std::cout << "  receiver decrypts: \"" << string_of(*plaintext) << "\"\n";
 
+  if (string_of(*plaintext) != message) {
+    std::cerr << "decrypted text does not match the original message\n";
+    return 1;
+  }
+
   std::cout << "\npackets sent " << session.report().packages_sent
             << ", terminal deliveries " << session.report().deliveries
             << ", stuck holders " << session.report().holders_stuck << "\n";
+  std::cout << "QUICKSTART OK\n";
   return 0;
 }

@@ -70,7 +70,7 @@ EvalResult evaluate_point(SchemeKind kind, const EvalPoint& point) {
         share_plan->alg1.n * (result.shape.l - 1) + result.shape.k;
   } else {
     // The sender plans with the no-churn formulas (the paper evaluates churn
-    // against parameters chosen for the attack model; see DESIGN.md §7).
+    // against parameters chosen for the attack model; see docs/design-notes.md §7).
     const Plan plan = plan_scheme(kind, point.p, point.planner);
     result.shape = plan.shape;
     result.nodes_used = plan.nodes_used;

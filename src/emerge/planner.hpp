@@ -3,7 +3,7 @@
 // The paper's evaluation (Fig. 6) plots, for each malicious rate p, the best
 // attack resilience R = min(Rr, Rd) each scheme can reach and the node cost
 // C of reaching it. The paper does not spell the search out; we use the
-// natural reading (documented in DESIGN.md §7): maximize min(Rr, Rd) over
+// natural reading (documented in docs/design-notes.md §7): maximize min(Rr, Rd) over
 // all geometries with k*l <= N, breaking ties toward fewer nodes.
 //
 // The search exploits monotonicity: for fixed k, Rr(l) is nondecreasing and

@@ -372,7 +372,7 @@ void TimedReleaseSession::process_holder(std::uint16_t column,
   const sim::Time now = network_.simulator().now();
   if (content.terminal()) {
     // A covert malicious terminal holder sees the secret one holding period
-    // early (the leak the paper's strict Rr metric excludes; see DESIGN.md).
+    // early (the leak the paper's strict Rr metric excludes; see docs/design-notes.md §2).
     if (adversary_ != nullptr && adversary_->is_malicious(holder))
       adversary_->observe_secret(content.terminal_payload, now);
     const Bytes secret = content.terminal_payload;

@@ -13,7 +13,9 @@
 //
 // Holder behavior runs as message handlers + simulator events; malicious
 // holders report to the Adversary and, in dropping mode, break the chain.
-// The session instance must outlive the simulation run that drives it.
+// The session instance must outlive the simulation run that drives it
+// (see docs/architecture.md, "Ownership rule"). Protocol phases: PAPER.md
+// §III; scheme taxonomy: PAPER.md §III-A..D.
 #pragma once
 
 #include <map>

@@ -7,7 +7,7 @@
 // for end-to-end validation at smaller scale). This is what makes the
 // paper's 1000-run parameter sweeps tractable.
 //
-// Semantics (DESIGN.md §2/§5):
+// Semantics (docs/design-notes.md §2/§5):
 //  * release-ahead success: the adversary collects every column's layer key
 //    within its storage window (pre-assigned-key schemes) or gathers m of n
 //    Shamir shares per column (share scheme). Malicious holders behave
