@@ -19,11 +19,15 @@ using namespace emergence::core;
 
 int main(int argc, char** argv) {
   const std::size_t runs = emergence::bench::parse_runs(argc, argv, 500);
+  SweepRunner runner = emergence::bench::make_runner(argc, argv);
   std::cout << "# == Ablation: Algorithm 1 modes (share scheme, alpha = 3) ==\n"
             << "# as_printed / independent / stochastic: analytic R of each "
                "mode\n"
             << "# mc: Monte-Carlo R of the protocol planned with the "
                "stochastic mode\n\n";
+  const emergence::bench::WallTimer timer;
+  emergence::bench::BenchJson json("ablation_alg1_modes", runs,
+                                   runner.threads());
 
   for (std::size_t budget : {100u, 1000u, 10000u}) {
     FigureTable table(
@@ -46,12 +50,14 @@ int main(int argc, char** argv) {
           p, point.planner, point.churn, Alg1Mode::kIndependentColumns);
       const SharePlan stochastic = plan_share(
           p, point.planner, point.churn, Alg1Mode::kStochasticDeaths);
-      const EvalResult mc = evaluate_point(SchemeKind::kShare, point);
+      const EvalResult mc = runner.evaluate_point(SchemeKind::kShare, point);
 
       table.add_row(
           {p, printed.R(), independent.R(), stochastic.R(), mc.R_mc()});
     }
     table.print(std::cout);
+    json.add_table(table);
   }
+  json.write(timer.seconds());
   return 0;
 }

@@ -20,10 +20,14 @@ using namespace emergence::core;
 
 int main(int argc, char** argv) {
   const std::size_t runs = emergence::bench::parse_runs(argc, argv, 500);
+  SweepRunner runner = emergence::bench::make_runner(argc, argv);
   std::cout << "# == Ablation: attack-only vs churn-aware planning "
                "(joint scheme) ==\n"
             << "# Monte-Carlo R under churn for both planners' geometries, "
             << runs << " runs per point.\n\n";
+  const emergence::bench::WallTimer timer;
+  emergence::bench::BenchJson json("ablation_churn_planning", runs,
+                                   runner.threads());
 
   for (double alpha : {1.0, 3.0}) {
     FigureTable table("alpha = " + std::to_string(static_cast<int>(alpha)),
@@ -42,20 +46,23 @@ int main(int argc, char** argv) {
       point.seed = 0xcafe + static_cast<std::uint64_t>(alpha * 100 + p * 1000);
 
       // Attack-only geometry (what evaluate_point does internally).
-      const EvalResult attack_only = evaluate_point(SchemeKind::kJoint, point);
+      const EvalResult attack_only =
+          runner.evaluate_point(SchemeKind::kJoint, point);
 
       // Churn-aware geometry, evaluated with the same Monte Carlo.
       const Plan aware =
           plan_churn_aware(SchemeKind::kJoint, p, point.planner, churn);
       const EvalResult churn_aware =
-          evaluate_fixed_shape(SchemeKind::kJoint, aware.shape, point);
+          runner.evaluate_fixed_shape(SchemeKind::kJoint, aware.shape, point);
 
       table.add_row({p, attack_only.R_mc(), churn_aware.R_mc(),
                      static_cast<double>(attack_only.nodes_used),
                      static_cast<double>(aware.nodes_used)});
     }
     table.print(std::cout);
+    json.add_table(table);
   }
+  json.write(timer.seconds());
   std::cout << "# reading: churn-aware planning dominates at every p and "
                "fixes the p = 0 artifact\n"
             << "# (attack-only picks one holder there; churn kills it with "

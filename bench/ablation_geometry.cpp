@@ -5,6 +5,9 @@
 // malicious rate and prints the Rr/Rd trade-off -- k buys drop resilience
 // and costs release resilience, l does the reverse (paper §III-C's
 // trade-off discussion and Lemma 1).
+//
+// Purely analytic (no Monte-Carlo runs to shard); the JSON artifact keeps
+// the trajectory format uniform across benches.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -22,6 +25,8 @@ int main() {
   std::cout << "# == Ablation: joint-scheme geometry trade-off at p = 0.3 ==\n"
             << "# Rr falls and Rd rises with k; the reverse with l; "
                "Rr + Rd > 1 throughout (Lemma 1).\n\n";
+  const emergence::bench::WallTimer timer;
+  emergence::bench::BenchJson json("ablation_geometry", 0, 1);
 
   FigureTable k_table("sweep k (l = 40)", {"k", "Rr", "Rd", "sum"});
   for (std::size_t k = 1; k <= 12; ++k) {
@@ -31,6 +36,7 @@ int main() {
                      r.release_ahead + r.drop});
   }
   k_table.print(std::cout);
+  json.add_table(k_table);
 
   FigureTable l_table("sweep l (k = 8)", {"l", "Rr", "Rd", "sum"});
   for (std::size_t l : {1u, 2u, 5u, 10u, 20u, 40u, 80u, 160u, 320u}) {
@@ -40,5 +46,7 @@ int main() {
                      r.release_ahead + r.drop});
   }
   l_table.print(std::cout);
+  json.add_table(l_table);
+  json.write(timer.seconds());
   return 0;
 }

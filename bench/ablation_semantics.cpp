@@ -7,54 +7,54 @@
 // holder already achieves. This bench quantifies the gap: the mean length
 // of the compromised column suffix and the probability of restoring at
 // least x holding periods early, versus the strict metric.
+//
+// The early-x probabilities come straight out of the sweep engine's exact
+// suffix histogram, so this driver shards its runs like every other bench.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
-#include "common/rng.hpp"
 #include "emerge/experiment/table.hpp"
-#include "emerge/stat_engine.hpp"
 
 namespace {
 
-using namespace emergence;
 using namespace emergence::core;
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t runs = emergence::bench::parse_runs(argc, argv);
+  SweepRunner runner = emergence::bench::make_runner(argc, argv);
   std::cout
       << "# == Ablation: strict (at-ts) vs early-restore release semantics ==\n"
       << "# geometry fixed at the joint scheme, k = 4, l = 8, N = 10000.\n"
       << "# strict   : adversary holds every column (restore at ts; paper)\n"
       << "# early1/4 : restore >= 1 / >= 4 holding periods before tr\n"
       << "# suffix   : mean compromised-column suffix length (of 8)\n\n";
+  const emergence::bench::WallTimer timer;
 
   const PathShape shape{4, 8};
   FigureTable table("release-ahead semantics",
                     {"p", "strict", "early1", "early4", "suffix"});
   for (double p : emergence::bench::paper_p_sweep()) {
-    StatEnvironment env;
-    env.population = 10000;
-    env.malicious_count = static_cast<std::size_t>(p * 10000);
-    Rng master(0xab1a + static_cast<std::uint64_t>(p * 1000));
-    std::size_t strict = 0, early1 = 0, early4 = 0;
-    double suffix_sum = 0.0;
-    for (std::size_t run = 0; run < runs; ++run) {
-      Rng rng = master.fork();
-      const StatRunOutcome out =
-          run_multipath_stat(SchemeKind::kJoint, shape, env, rng);
-      strict += out.release_success;
-      early1 += out.compromised_suffix >= 1;
-      early4 += out.compromised_suffix >= 4;
-      suffix_sum += static_cast<double>(out.compromised_suffix);
-    }
-    const double n = static_cast<double>(runs);
-    table.add_row({p, static_cast<double>(strict) / n,
-                   static_cast<double>(early1) / n,
-                   static_cast<double>(early4) / n, suffix_sum / n});
+    EvalPoint point;
+    point.p = p;
+    point.population = 10000;
+    point.runs = runs;
+    point.seed = 0xab1a + static_cast<std::uint64_t>(p * 1000);
+    const RunTally tally =
+        runner.run_tallies(SchemeKind::kJoint, shape, std::nullopt, point);
+    const double n = static_cast<double>(tally.runs());
+    table.add_row({p, static_cast<double>(tally.release.successes()) / n,
+                   static_cast<double>(tally.suffix_at_least(1)) / n,
+                   static_cast<double>(tally.suffix_at_least(4)) / n,
+                   tally.mean_suffix()});
   }
   table.print(std::cout);
+  emergence::bench::BenchJson json("ablation_semantics", runs,
+                                   runner.threads());
+  json.add_table(table);
+  json.write(timer.seconds());
   std::cout << "# reading: early1 is far likelier than strict -- the "
                "terminal holder's\n"
             << "# one-period head start is the price of the design; the "

@@ -1,14 +1,22 @@
 // Shared plumbing for the figure-reproduction benches: the p sweep of the
-// paper's evaluation, a --runs flag, and headers that echo the experimental
-// setup.
+// paper's evaluation, --runs/--threads flags, headers that echo the
+// experimental setup, and the machine-readable BENCH_*.json artifact every
+// sweep emits for trajectory tracking.
 #pragma once
 
+#include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "emerge/experiment/table.hpp"
 #include "emerge/monte_carlo.hpp"
+#include "emerge/sweep.hpp"
 
 namespace emergence::bench {
 
@@ -19,20 +27,62 @@ inline std::vector<double> paper_p_sweep(double step = 0.05) {
   return ps;
 }
 
+/// Parses a non-negative integer flag/env value; malformed input falls back
+/// to `fallback` with a stderr note instead of aborting the whole bench on
+/// an uncaught std::stoul exception.
+inline std::size_t parse_count(const std::string& text, std::size_t fallback,
+                               const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  // The '-' check matters: strtoull happily wraps "-100" to 2^64-100.
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      text.find('-') != std::string::npos) {
+    std::cerr << "# warning: ignoring malformed " << what << " value '"
+              << text << "'\n";
+    return fallback;
+  }
+  return static_cast<std::size_t>(value);
+}
+
 /// Parses "--runs=N" (and "--quick" as a 100-run alias) from argv; defaults
-/// to the paper's 1000 repetitions.
+/// to the paper's 1000 repetitions. EMERGENCE_BENCH_RUNS overrides both.
 inline std::size_t parse_runs(int argc, char** argv,
                               std::size_t default_runs = 1000) {
   std::size_t runs = default_runs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--runs=", 0) == 0) runs = std::stoul(arg.substr(7));
+    if (arg.rfind("--runs=", 0) == 0)
+      runs = parse_count(arg.substr(7), runs, "--runs");
     if (arg == "--quick") runs = 100;
   }
   if (const char* env = std::getenv("EMERGENCE_BENCH_RUNS")) {
-    runs = std::stoul(env);
+    runs = parse_count(env, runs, "EMERGENCE_BENCH_RUNS");
   }
   return runs;
+}
+
+/// Parses "--threads=N" from argv (EMERGENCE_BENCH_THREADS overrides).
+/// 0 = auto (SweepRunner resolves it to the hardware concurrency). The
+/// thread count never changes bench numbers, only wall-clock time.
+inline std::size_t parse_threads(int argc, char** argv) {
+  std::size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0)
+      threads = parse_count(arg.substr(10), threads, "--threads");
+  }
+  if (const char* env = std::getenv("EMERGENCE_BENCH_THREADS")) {
+    threads = parse_count(env, threads, "EMERGENCE_BENCH_THREADS");
+  }
+  return threads;
+}
+
+/// Builds the sweep engine every bench driver shares, honoring --threads.
+inline core::SweepRunner make_runner(int argc, char** argv) {
+  core::SweepOptions options;
+  options.threads = parse_threads(argc, argv);
+  return core::SweepRunner(options);
 }
 
 inline void print_setup(const std::string& figure, std::size_t runs) {
@@ -42,5 +92,126 @@ inline void print_setup(const std::string& figure, std::size_t runs) {
             << "# columns: analytic model prediction and simulated estimate "
                "(R = min(Rr, Rd)).\n\n";
 }
+
+/// Wall-clock stopwatch for the sweep timing recorded in the JSON artifact.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(elapsed).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// -- machine-readable sweep artifacts ----------------------------------------
+//
+// Every bench driver writes one BENCH_<name>.json next to its stdout tables
+// so the bench trajectory can be tracked run-over-run. Schema:
+//   { "bench": str, "runs": int, "threads": int, "wall_seconds": num,
+//     "extra": { str: num, ... },
+//     "tables": [ { "name": str, "caption": str,
+//                   "columns": [str, ...], "rows": [[num, ...], ...] } ] }
+
+inline void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+inline void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  const auto old_precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  os.precision(old_precision);
+}
+
+/// Collects tables plus run metadata and serializes them as one JSON file.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, std::size_t runs, std::size_t threads)
+      : bench_(std::move(bench)), runs_(runs), threads_(threads) {}
+
+  void add_table(const core::FigureTable& table) { tables_.push_back(table); }
+
+  /// Extra top-level scalar (e.g. "speedup": 4.2).
+  void set_extra(const std::string& key, double value) {
+    extra_.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<bench>.json into `dir` (default: the working directory,
+  /// overridable with EMERGENCE_BENCH_JSON_DIR). Returns the path written.
+  std::string write(double wall_seconds) const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("EMERGENCE_BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + bench_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "# warning: could not open " << path
+                << " for writing; no JSON artifact emitted\n";
+      return path;
+    }
+    os << "{\n  \"bench\": ";
+    json_escape(os, bench_);
+    os << ",\n  \"runs\": " << runs_ << ",\n  \"threads\": " << threads_
+       << ",\n  \"wall_seconds\": ";
+    json_number(os, wall_seconds);
+    os << ",\n  \"extra\": {";
+    for (std::size_t i = 0; i < extra_.size(); ++i) {
+      if (i > 0) os << ", ";
+      json_escape(os, extra_[i].first);
+      os << ": ";
+      json_number(os, extra_[i].second);
+    }
+    os << "},\n  \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const core::FigureTable& table = tables_[t];
+      os << (t > 0 ? "," : "") << "\n    {\n      \"name\": ";
+      json_escape(os, table.title());
+      os << ",\n      \"caption\": ";
+      json_escape(os, table.caption());
+      os << ",\n      \"columns\": [";
+      for (std::size_t c = 0; c < table.headers().size(); ++c) {
+        if (c > 0) os << ", ";
+        json_escape(os, table.headers()[c]);
+      }
+      os << "],\n      \"rows\": [";
+      for (std::size_t r = 0; r < table.rows().size(); ++r) {
+        os << (r > 0 ? "," : "") << "\n        [";
+        const std::vector<double>& row = table.rows()[r];
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          if (c > 0) os << ", ";
+          json_number(os, row[c]);
+        }
+        os << "]";
+      }
+      os << "\n      ]\n    }";
+    }
+    os << "\n  ]\n}\n";
+    std::cout << "# json: " << path << "\n";
+    return path;
+  }
+
+ private:
+  std::string bench_;
+  std::size_t runs_;
+  std::size_t threads_;
+  std::vector<std::pair<std::string, double>> extra_;
+  std::vector<core::FigureTable> tables_;
+};
 
 }  // namespace emergence::bench

@@ -15,8 +15,8 @@ namespace {
 
 using namespace emergence::core;
 
-void run_panel(const std::string& title, std::size_t population,
-               std::size_t runs) {
+FigureTable run_panel(SweepRunner& runner, const std::string& title,
+                      std::size_t population, std::size_t runs) {
   FigureTable table(title,
                     {"p", "central", "disjoint", "joint", "central_mc",
                      "disjoint_mc", "joint_mc"});
@@ -30,23 +30,33 @@ void run_panel(const std::string& title, std::size_t population,
     point.runs = runs;
     point.seed = 0xF16A + static_cast<std::uint64_t>(p * 1000);
 
-    const EvalResult central = evaluate_point(SchemeKind::kCentralized, point);
-    const EvalResult disjoint = evaluate_point(SchemeKind::kDisjoint, point);
-    const EvalResult joint = evaluate_point(SchemeKind::kJoint, point);
+    const EvalResult central =
+        runner.evaluate_point(SchemeKind::kCentralized, point);
+    const EvalResult disjoint =
+        runner.evaluate_point(SchemeKind::kDisjoint, point);
+    const EvalResult joint = runner.evaluate_point(SchemeKind::kJoint, point);
     table.add_row({p, central.R_analytic(), disjoint.R_analytic(),
                    joint.R_analytic(), central.R_mc(), disjoint.R_mc(),
                    joint.R_mc()});
   }
   table.print(std::cout);
+  return table;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t runs = emergence::bench::parse_runs(argc, argv);
+  SweepRunner runner = emergence::bench::make_runner(argc, argv);
   emergence::bench::print_setup(
       "Fig. 6(a)/(c): attack resilience vs malicious rate", runs);
-  run_panel("Fig 6(a): attack resilience, N = 10000", 10000, runs);
-  run_panel("Fig 6(c): attack resilience, N = 100", 100, runs);
+  const emergence::bench::WallTimer timer;
+  emergence::bench::BenchJson json("fig6_attack_resilience", runs,
+                                   runner.threads());
+  json.add_table(
+      run_panel(runner, "Fig 6(a): attack resilience, N = 10000", 10000, runs));
+  json.add_table(
+      run_panel(runner, "Fig 6(c): attack resilience, N = 100", 100, runs));
+  json.write(timer.seconds());
   return 0;
 }

@@ -5,6 +5,9 @@
 // Expected shape (paper §IV-B1): the centralized scheme always uses one
 // node; the disjoint scheme's optimum stays small; the joint scheme's cost
 // "rapidly increases towards 10000 after p = 0.15".
+//
+// Planning is analytic (no Monte-Carlo phase), so this driver has nothing
+// to shard; it still emits the same JSON artifact as the sweep benches.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -15,7 +18,7 @@ namespace {
 
 using namespace emergence::core;
 
-void run_panel(const std::string& title, std::size_t budget) {
+FigureTable run_panel(const std::string& title, std::size_t budget) {
   FigureTable table(title, {"p", "central", "disjoint", "joint"});
   table.set_caption("required nodes C per scheme, budget N = " +
                     std::to_string(budget));
@@ -28,6 +31,7 @@ void run_panel(const std::string& title, std::size_t budget) {
                    static_cast<double>(plan_joint(p, config).nodes_used)});
   }
   table.print(std::cout, 0);
+  return table;
 }
 
 }  // namespace
@@ -38,7 +42,10 @@ int main(int argc, char** argv) {
   std::cout << "# == Fig. 6(b)/(d): required nodes vs malicious rate ==\n"
             << "# planner: cheapest geometry within 1e-4 of the best "
                "min(Rr, Rd) under the budget.\n\n";
-  run_panel("Fig 6(b): required nodes, N = 10000", 10000);
-  run_panel("Fig 6(d): required nodes, N = 100", 100);
+  const emergence::bench::WallTimer timer;
+  emergence::bench::BenchJson json("fig6_required_nodes", 0, 1);
+  json.add_table(run_panel("Fig 6(b): required nodes, N = 10000", 10000));
+  json.add_table(run_panel("Fig 6(d): required nodes, N = 100", 100));
+  json.write(timer.seconds());
   return 0;
 }

@@ -16,7 +16,7 @@ namespace {
 
 using namespace emergence::core;
 
-void run_panel(double alpha, std::size_t runs) {
+FigureTable run_panel(SweepRunner& runner, double alpha, std::size_t runs) {
   FigureTable table(
       "Fig 7, alpha = " + std::to_string(static_cast<int>(alpha)),
       {"p", "central", "disjoint", "joint", "share", "central_mc",
@@ -32,23 +32,33 @@ void run_panel(double alpha, std::size_t runs) {
     point.churn = ChurnSpec::with_alpha(alpha);
     point.seed = 0xF170 + static_cast<std::uint64_t>(alpha * 100 + p * 1000);
 
-    const EvalResult central = evaluate_point(SchemeKind::kCentralized, point);
-    const EvalResult disjoint = evaluate_point(SchemeKind::kDisjoint, point);
-    const EvalResult joint = evaluate_point(SchemeKind::kJoint, point);
-    const EvalResult share = evaluate_point(SchemeKind::kShare, point);
+    const EvalResult central =
+        runner.evaluate_point(SchemeKind::kCentralized, point);
+    const EvalResult disjoint =
+        runner.evaluate_point(SchemeKind::kDisjoint, point);
+    const EvalResult joint = runner.evaluate_point(SchemeKind::kJoint, point);
+    const EvalResult share = runner.evaluate_point(SchemeKind::kShare, point);
     table.add_row({p, central.R_analytic(), disjoint.R_analytic(),
                    joint.R_analytic(), share.R_analytic(), central.R_mc(),
                    disjoint.R_mc(), joint.R_mc(), share.R_mc()});
   }
   table.print(std::cout);
+  return table;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t runs = emergence::bench::parse_runs(argc, argv, 500);
+  SweepRunner runner = emergence::bench::make_runner(argc, argv);
   emergence::bench::print_setup(
       "Fig. 7: churn resilience, alpha = T / node lifetime", runs);
-  for (double alpha : {1.0, 2.0, 3.0, 5.0}) run_panel(alpha, runs);
+  const emergence::bench::WallTimer timer;
+  emergence::bench::BenchJson json("fig7_churn_resilience", runs,
+                                   runner.threads());
+  for (double alpha : {1.0, 2.0, 3.0, 5.0}) {
+    json.add_table(run_panel(runner, alpha, runs));
+  }
+  json.write(timer.seconds());
   return 0;
 }

@@ -17,8 +17,10 @@ using namespace emergence::core;
 
 int main(int argc, char** argv) {
   const std::size_t runs = emergence::bench::parse_runs(argc, argv);
+  SweepRunner runner = emergence::bench::make_runner(argc, argv);
   emergence::bench::print_setup(
       "Fig. 8: key-share routing cost (node budget) sweep, alpha = 3", runs);
+  const emergence::bench::WallTimer timer;
 
   const std::vector<std::size_t> budgets = {100, 1000, 5000, 10000};
   FigureTable table("Fig 8: share-scheme resilience vs node budget",
@@ -37,7 +39,7 @@ int main(int argc, char** argv) {
       point.runs = runs;
       point.churn = ChurnSpec::with_alpha(3.0);
       point.seed = 0xF180 + budget + static_cast<std::uint64_t>(p * 1000);
-      const EvalResult share = evaluate_point(SchemeKind::kShare, point);
+      const EvalResult share = runner.evaluate_point(SchemeKind::kShare, point);
       row.push_back(share.R_analytic());
       mc_row.push_back(share.R_mc());
     }
@@ -45,5 +47,8 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  emergence::bench::BenchJson json("fig8_share_cost", runs, runner.threads());
+  json.add_table(table);
+  json.write(timer.seconds());
   return 0;
 }

@@ -69,4 +69,29 @@ std::vector<std::uint32_t> Rng::sample_without_replacement(std::size_t n,
 
 Rng Rng::fork() { return Rng(bits()); }
 
+namespace {
+
+/// SplitMix64 finalizer (Steele, Lea, Flood 2014): a bijective avalanche
+/// mix on 64 bits.
+std::uint64_t mix64(std::uint64_t z) {
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;  // 2^64 / phi, odd
+
+}  // namespace
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // mix64 is bijective and stream_id * kGolden is bijective (odd multiplier),
+  // so for a fixed seed the child seeds are a permutation of the stream ids:
+  // distinct streams get distinct seeds by construction.
+  const std::uint64_t base = mix64(seed_ + kGolden);
+  return Rng(mix64(base ^ (stream_id * kGolden + 0x6a09e667f3bcc909ULL)));
+}
+
 }  // namespace emergence

@@ -20,7 +20,7 @@ namespace emergence {
 /// Seedable pseudo-random source with simulation-oriented helpers.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Uniform integer in [lo, hi] inclusive.
   std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
@@ -57,12 +57,25 @@ class Rng {
     }
   }
 
-  /// Derives an independent child stream; used to give each Monte-Carlo run
-  /// its own seed so runs can be reordered or parallelized without changing
-  /// results.
+  /// Derives an independent child stream by drawing from this engine
+  /// (stateful: each call advances the parent and yields a new stream).
   Rng fork();
 
+  /// Derives the independent child stream `stream_id` of this source's
+  /// construction seed. Counter-based: the child depends only on
+  /// (seed, stream_id), never on engine state or call order, so run *i* of a
+  /// sweep gets the same stream no matter which thread executes it or how
+  /// many runs came before — the property the parallel SweepRunner builds
+  /// its thread-count invariance on. The derivation is a SplitMix64-style
+  /// finalizer over an odd-multiplier encoding of the stream id, which is
+  /// bijective per seed: distinct stream ids can never collide.
+  Rng fork(std::uint64_t stream_id) const;
+
+  /// The seed this source was constructed with (the fork(stream_id) base).
+  std::uint64_t seed() const { return seed_; }
+
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

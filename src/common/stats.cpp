@@ -11,6 +11,22 @@ void RunningStat::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan, Golub, LeVeque (1983): combine two Welford partials.
+  const double delta = other.mean_ - mean_;
+  const std::size_t n = n_ + other.n_;
+  const double nb = static_cast<double>(other.n_);
+  const double ratio = static_cast<double>(n_) * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * ratio;
+  mean_ += delta * nb / static_cast<double>(n);
+  n_ = n;
+}
+
 double RunningStat::variance() const {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);
@@ -28,6 +44,11 @@ double RunningStat::ci95_halfwidth() const { return 1.96 * stderr_mean(); }
 void RateStat::add(bool success) {
   ++trials_;
   if (success) ++successes_;
+}
+
+void RateStat::merge(const RateStat& other) {
+  trials_ += other.trials_;
+  successes_ += other.successes_;
 }
 
 double RateStat::rate() const {

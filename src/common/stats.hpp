@@ -5,10 +5,20 @@
 
 namespace emergence {
 
-/// Welford streaming mean/variance accumulator.
+/// Welford streaming mean/variance accumulator. Mergeable: per-shard
+/// accumulators built in parallel combine with merge() (Chan et al.'s
+/// pairwise update), which the sweep layer uses to aggregate sharded
+/// Monte-Carlo runs. Merging is exact for counts and associative up to
+/// floating-point rounding for mean/m2, so deterministic pipelines must
+/// merge shards in a fixed order (see docs/architecture.md, "Concurrency
+/// and reproducibility").
 class RunningStat {
  public:
   void add(double x);
+
+  /// Folds another accumulator into this one as if its samples had been
+  /// add()ed here.
+  void merge(const RunningStat& other);
 
   std::size_t count() const { return n_; }
   double mean() const { return n_ == 0 ? 0.0 : mean_; }
@@ -31,6 +41,11 @@ class RunningStat {
 class RateStat {
  public:
   void add(bool success);
+
+  /// Folds another accumulator into this one. Integer counters only, so the
+  /// merge is exact and order-independent: any sharding of the same trials
+  /// reproduces the serial tallies bit-identically.
+  void merge(const RateStat& other);
 
   std::size_t trials() const { return trials_; }
   std::size_t successes() const { return successes_; }

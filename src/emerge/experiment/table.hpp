@@ -27,6 +27,12 @@ class FigureTable {
   /// unless a per-column override applies.
   void print(std::ostream& os, int precision = 4) const;
 
+  // Read access for machine-readable exports (bench JSON artifacts).
+  const std::string& title() const { return title_; }
+  const std::string& caption() const { return caption_; }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::string caption_;

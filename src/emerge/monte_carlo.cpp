@@ -1,128 +1,21 @@
 #include "emerge/monte_carlo.hpp"
 
-#include <cmath>
-
-#include "common/error.hpp"
-#include "common/stats.hpp"
-#include "emerge/resilience.hpp"
+#include "emerge/sweep.hpp"
 
 namespace emergence::core {
-namespace {
 
-StatEnvironment make_environment(const EvalPoint& point) {
-  StatEnvironment env;
-  env.population = point.population;
-  env.malicious_count = static_cast<std::size_t>(
-      std::floor(point.p * static_cast<double>(point.population)));
-  env.churn = point.churn;
-  return env;
-}
-
-void run_monte_carlo(EvalResult& result, SchemeKind kind,
-                     const std::optional<SharePlan>& share_plan,
-                     const EvalPoint& point) {
-  const StatEnvironment env = make_environment(point);
-  Rng master(point.seed);
-  RateStat release, drop;
-  RunningStat suffix;
-  for (std::size_t run = 0; run < point.runs; ++run) {
-    Rng rng = master.fork();
-    StatRunOutcome outcome;
-    switch (kind) {
-      case SchemeKind::kCentralized:
-        outcome = run_centralized_stat(env, rng);
-        break;
-      case SchemeKind::kDisjoint:
-      case SchemeKind::kJoint:
-        outcome = run_multipath_stat(kind, result.shape, env, rng);
-        break;
-      case SchemeKind::kShare:
-        outcome = run_share_stat(*share_plan, env, rng);
-        break;
-    }
-    release.add(outcome.release_success);
-    drop.add(outcome.drop_success);
-    suffix.add(static_cast<double>(outcome.compromised_suffix));
-  }
-  result.monte_carlo.release_ahead = 1.0 - release.rate();
-  result.monte_carlo.drop = 1.0 - drop.rate();
-  result.release_stderr = release.stderr_rate();
-  result.drop_stderr = drop.stderr_rate();
-  result.mean_compromised_suffix = suffix.mean();
-}
-
-}  // namespace
+// Both entry points delegate to the process-wide parallel sweep engine.
+// SweepRunner results are a pure function of the EvalPoint (fork-per-run
+// seeding, exact integer tallies), so the pool's thread count — auto-sized
+// from the hardware — never changes what these return, only how fast.
 
 EvalResult evaluate_point(SchemeKind kind, const EvalPoint& point) {
-  require(point.p >= 0.0 && point.p <= 1.0, "evaluate_point: p out of range");
-  EvalResult result;
-  result.kind = kind;
-
-  std::optional<SharePlan> share_plan;
-  if (kind == SchemeKind::kShare) {
-    share_plan =
-        plan_share(point.p, point.planner, point.churn, point.alg1_mode);
-    result.shape = share_plan->base.shape;
-    result.alg1 = share_plan->alg1;
-    result.analytic = share_plan->alg1.resilience;
-    // Columns 1..l-1 carry n holders; the terminal column only the k slots.
-    result.nodes_used =
-        share_plan->alg1.n * (result.shape.l - 1) + result.shape.k;
-  } else {
-    // The sender plans with the no-churn formulas (the paper evaluates churn
-    // against parameters chosen for the attack model; see docs/design-notes.md §7).
-    const Plan plan = plan_scheme(kind, point.p, point.planner);
-    result.shape = plan.shape;
-    result.nodes_used = plan.nodes_used;
-    result.analytic = point.churn.enabled
-                          ? analytic_churn_resilience(kind, point.p,
-                                                      plan.shape, point.churn)
-                          : plan.resilience;
-  }
-
-  run_monte_carlo(result, kind, share_plan, point);
-  return result;
+  return SweepRunner::shared().evaluate_point(kind, point);
 }
 
 EvalResult evaluate_fixed_shape(SchemeKind kind, const PathShape& shape,
                                 const EvalPoint& point) {
-  EvalResult result;
-  result.kind = kind;
-  result.shape = shape;
-  result.nodes_used = shape.holder_count();
-
-  std::optional<SharePlan> share_plan;
-  if (kind == SchemeKind::kShare) {
-    SharePlan plan;
-    plan.base.kind = SchemeKind::kJoint;
-    plan.base.shape = shape;
-    Alg1Inputs inputs;
-    inputs.shape = shape;
-    inputs.node_budget = point.planner.node_budget;
-    inputs.emerging_time =
-        point.churn.enabled ? point.churn.emerging_time : 1.0;
-    inputs.mean_lifetime =
-        point.churn.enabled ? point.churn.mean_lifetime : 1e9;
-    inputs.p = point.p;
-    inputs.mode = point.alg1_mode;
-    plan.alg1 = run_algorithm1(inputs);
-    result.alg1 = plan.alg1;
-    result.analytic = plan.alg1.resilience;
-    result.nodes_used = plan.alg1.n * (shape.l - 1) + shape.k;
-    share_plan = plan;
-  } else if (kind == SchemeKind::kCentralized) {
-    result.analytic = point.churn.enabled
-                          ? centralized_churn_resilience(point.p, point.churn)
-                          : analytic_resilience(kind, point.p, shape);
-  } else {
-    result.analytic =
-        point.churn.enabled
-            ? analytic_churn_resilience(kind, point.p, shape, point.churn)
-            : analytic_resilience(kind, point.p, shape);
-  }
-
-  run_monte_carlo(result, kind, share_plan, point);
-  return result;
+  return SweepRunner::shared().evaluate_fixed_shape(kind, shape, point);
 }
 
 }  // namespace emergence::core

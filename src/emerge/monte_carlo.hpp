@@ -2,6 +2,12 @@
 // analytic resilience and estimates it by Monte Carlo, averaging over many
 // independent runs exactly as the paper does ("run each experiment for 1000
 // times to take the average").
+//
+// The Monte-Carlo phase executes on the parallel sweep engine
+// (emerge/sweep.hpp): runs are seeded per-index with Rng::fork(i) and
+// sharded across a thread pool, with results bit-identical at any thread
+// count. The free functions here wrap SweepRunner::shared(); construct a
+// SweepRunner directly to control the thread count.
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,7 @@ EventId Simulator::schedule_at(Time at, std::function<void()> action) {
   require(at >= now_, "Simulator::schedule_at: time in the past");
   const EventId id = next_id_++;
   queue_.push(Entry{at, id, std::move(action)});
+  live_.insert(id);
   return id;
 }
 
@@ -16,7 +17,9 @@ EventId Simulator::schedule_in(Time delay, std::function<void()> action) {
   return schedule_at(now_ + delay, std::move(action));
 }
 
-void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+void Simulator::cancel(EventId id) {
+  if (live_.erase(id) > 0) cancelled_.insert(id);
+}
 
 bool Simulator::fire_next() {
   while (!queue_.empty()) {
@@ -26,6 +29,7 @@ bool Simulator::fire_next() {
       cancelled_.erase(it);
       continue;
     }
+    live_.erase(e.id);
     now_ = e.at;
     ++executed_;
     e.action();

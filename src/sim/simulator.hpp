@@ -43,7 +43,7 @@ class Simulator {
   std::size_t step(std::size_t max_events);
 
   Time now() const { return now_; }
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending() const { return live_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
@@ -65,6 +65,11 @@ class Simulator {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Ids scheduled but not yet fired or cancelled. cancel() only tombstones
+  /// ids found here, so cancelling a fired or unknown id cannot desync the
+  /// pending count (the old `queue_.size() - cancelled_.size()` arithmetic
+  /// underflowed on exactly those calls).
+  std::unordered_set<EventId> live_;
   std::unordered_set<EventId> cancelled_;
 };
 

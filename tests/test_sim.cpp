@@ -146,5 +146,96 @@ TEST(Simulator, RunUntilPastDeadlineThrows) {
   EXPECT_THROW(sim.run_until(4.0), emergence::PreconditionError);
 }
 
+// -- pending() bookkeeping regressions ---------------------------------------
+// pending() used to compute queue_.size() - cancelled_.size() on unsigned
+// values; cancelling an already-fired or unknown id inflated cancelled_ and
+// underflowed the difference. These tests pin the fixed behavior.
+
+TEST(Simulator, CancelAfterFireKeepsPendingCorrect) {
+  Simulator sim;
+  const EventId first = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.step(1), 1u);  // fires `first`
+  sim.cancel(first);           // stale cancel: must be a no-op
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 2u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelUnknownIdKeepsPendingCorrect) {
+  Simulator sim;
+  sim.cancel(9999);  // never scheduled; used to underflow pending() to 2^64-1
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.schedule_at(1.0, [] {});
+  sim.cancel(424242);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.cancel(id);
+  sim.cancel(id);  // second cancel of the same id must not double-count
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, CancelledThenFiredIdCanBeCancelledAgainHarmlessly) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.run();
+  sim.cancel(a);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 0u);
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+// -- run_until with same-timestamp events ------------------------------------
+
+TEST(Simulator, RunUntilFiresAllSameTimestampEventsAtDeadline) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i)
+    sim.schedule_at(3.0, [&order, i] { order.push_back(i); });
+  sim.run_until(3.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, RunUntilFiresEventsScheduledAtTheDeadlineDuringTheRun) {
+  Simulator sim;
+  bool chained = false;
+  sim.schedule_at(3.0, [&] {
+    sim.schedule_at(3.0, [&] { chained = true; });  // same-instant follow-up
+  });
+  sim.run_until(3.0);
+  EXPECT_TRUE(chained);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHeadAtDeadline) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventId head = sim.schedule_at(2.0, [&] { order.push_back(0); });
+  sim.schedule_at(2.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.cancel(head);
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
 }  // namespace
 }  // namespace emergence::sim

@@ -1,0 +1,262 @@
+// Tests for the parallel deterministic sweep engine: thread-count
+// invariance, equivalence with a flat serial loop (the pre-SweepRunner
+// monte_carlo loop structure, re-seeded with the counter-based fork),
+// shard-size invariance, and the exact tally type.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "emerge/stat_engine.hpp"
+#include "emerge/sweep.hpp"
+
+namespace emergence::core {
+namespace {
+
+/// Asserts every field of two EvalResults is bit-identical (exact ==, no
+/// tolerance: the engine's determinism contract).
+void expect_bit_identical(const EvalResult& a, const EvalResult& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.shape.k, b.shape.k);
+  EXPECT_EQ(a.shape.l, b.shape.l);
+  EXPECT_EQ(a.nodes_used, b.nodes_used);
+  EXPECT_EQ(a.analytic.release_ahead, b.analytic.release_ahead);
+  EXPECT_EQ(a.analytic.drop, b.analytic.drop);
+  EXPECT_EQ(a.monte_carlo.release_ahead, b.monte_carlo.release_ahead);
+  EXPECT_EQ(a.monte_carlo.drop, b.monte_carlo.drop);
+  EXPECT_EQ(a.release_stderr, b.release_stderr);
+  EXPECT_EQ(a.drop_stderr, b.drop_stderr);
+  EXPECT_EQ(a.mean_compromised_suffix, b.mean_compromised_suffix);
+  ASSERT_EQ(a.alg1.has_value(), b.alg1.has_value());
+  if (a.alg1.has_value()) {
+    EXPECT_EQ(a.alg1->n, b.alg1->n);
+    EXPECT_EQ(a.alg1->d, b.alg1->d);
+    EXPECT_EQ(a.alg1->pdead, b.alg1->pdead);
+    EXPECT_EQ(a.alg1->resilience.release_ahead, b.alg1->resilience.release_ahead);
+    EXPECT_EQ(a.alg1->resilience.drop, b.alg1->resilience.drop);
+    EXPECT_EQ(a.alg1->columns.size(), b.alg1->columns.size());
+  }
+}
+
+/// A small but non-trivial point: enough runs to cross several shards,
+/// pinned to the seed's default Monte-Carlo seed 0x5eed.
+EvalPoint test_point(double p, bool churn, std::size_t runs = 250) {
+  EvalPoint point;
+  point.p = p;
+  point.population = 2000;
+  point.planner.node_budget = 400;
+  point.runs = runs;
+  point.seed = 0x5eed;
+  if (churn) point.churn = ChurnSpec::with_alpha(3.0);
+  return point;
+}
+
+const SchemeKind kAllSchemes[] = {SchemeKind::kCentralized,
+                                  SchemeKind::kDisjoint, SchemeKind::kJoint,
+                                  SchemeKind::kShare};
+
+TEST(SweepThreadInvariance, AllSchemesChurnOffBitIdentical) {
+  SweepRunner one(SweepOptions{1, 64});
+  SweepRunner two(SweepOptions{2, 64});
+  SweepRunner eight(SweepOptions{8, 64});
+  for (SchemeKind kind : kAllSchemes) {
+    const EvalPoint point = test_point(0.3, /*churn=*/false);
+    const EvalResult r1 = one.evaluate_point(kind, point);
+    const EvalResult r2 = two.evaluate_point(kind, point);
+    const EvalResult r8 = eight.evaluate_point(kind, point);
+    expect_bit_identical(r1, r2);
+    expect_bit_identical(r1, r8);
+  }
+}
+
+TEST(SweepThreadInvariance, AllSchemesChurnOnBitIdentical) {
+  SweepRunner one(SweepOptions{1, 64});
+  SweepRunner two(SweepOptions{2, 64});
+  SweepRunner eight(SweepOptions{8, 64});
+  for (SchemeKind kind : kAllSchemes) {
+    const EvalPoint point = test_point(0.2, /*churn=*/true);
+    const EvalResult r1 = one.evaluate_point(kind, point);
+    const EvalResult r2 = two.evaluate_point(kind, point);
+    const EvalResult r8 = eight.evaluate_point(kind, point);
+    expect_bit_identical(r1, r2);
+    expect_bit_identical(r1, r8);
+  }
+}
+
+TEST(SweepThreadInvariance, FixedShapeBitIdentical) {
+  SweepRunner one(SweepOptions{1, 32});
+  SweepRunner eight(SweepOptions{8, 32});
+  const PathShape shape{3, 10};
+  for (bool churn : {false, true}) {
+    const EvalPoint point = test_point(0.25, churn);
+    expect_bit_identical(one.evaluate_fixed_shape(SchemeKind::kJoint, shape, point),
+                         eight.evaluate_fixed_shape(SchemeKind::kJoint, shape, point));
+    expect_bit_identical(
+        one.evaluate_fixed_shape(SchemeKind::kShare, PathShape{2, 5}, point),
+        eight.evaluate_fixed_shape(SchemeKind::kShare, PathShape{2, 5}, point));
+  }
+}
+
+TEST(SweepThreadInvariance, ShardSizeDoesNotChangeResults) {
+  // Exact integer tallies make the aggregate independent of the shard
+  // decomposition, not just of the thread count.
+  const EvalPoint point = test_point(0.3, /*churn=*/true);
+  const EvalResult base =
+      SweepRunner(SweepOptions{1, 64}).evaluate_point(SchemeKind::kJoint, point);
+  for (std::size_t shard_size : {std::size_t{1}, std::size_t{7},
+                                 std::size_t{1000}}) {
+    SweepRunner runner(SweepOptions{4, shard_size});
+    expect_bit_identical(base, runner.evaluate_point(SchemeKind::kJoint, point));
+  }
+}
+
+// The free functions (what every test and bench used before SweepRunner
+// existed) must agree with an explicitly-constructed runner.
+TEST(SweepSerialEquivalence, FreeFunctionsMatchExplicitRunner) {
+  const EvalPoint point = test_point(0.35, /*churn=*/false);
+  SweepRunner runner(SweepOptions{3, 16});
+  expect_bit_identical(evaluate_point(SchemeKind::kDisjoint, point),
+                       runner.evaluate_point(SchemeKind::kDisjoint, point));
+  expect_bit_identical(
+      evaluate_fixed_shape(SchemeKind::kCentralized, PathShape{1, 1}, point),
+      runner.evaluate_fixed_shape(SchemeKind::kCentralized, PathShape{1, 1},
+                                  point));
+}
+
+// The engine must reproduce a flat serial loop — the pre-refactor
+// monte_carlo structure (one loop over the runs, a fork per run, single
+// sequential accumulators) under the engine's counter-based per-run seeding
+// — bit-for-bit at the pinned seed. (The per-run seeding itself changed
+// with the engine: fork(i) instead of sequential stateful fork(), so MC
+// estimates differ numerically from pre-engine outputs while sampling the
+// same distributions.)
+TEST(SweepSerialEquivalence, MatchesFlatSerialLoop) {
+  const PathShape shape{4, 8};
+  for (bool churn : {false, true}) {
+    const EvalPoint point = test_point(0.3, churn, 300);
+
+    StatEnvironment env;
+    env.population = point.population;
+    env.malicious_count = static_cast<std::size_t>(
+        std::floor(point.p * static_cast<double>(point.population)));
+    env.churn = point.churn;
+
+    const Rng master(point.seed);
+    RateStat release, drop;
+    std::uint64_t suffix_sum = 0;
+    for (std::size_t run = 0; run < point.runs; ++run) {
+      Rng rng = master.fork(run);
+      const StatRunOutcome outcome =
+          run_multipath_stat(SchemeKind::kJoint, shape, env, rng);
+      release.add(outcome.release_success);
+      drop.add(outcome.drop_success);
+      suffix_sum += outcome.compromised_suffix;
+    }
+
+    SweepRunner runner(SweepOptions{8, 64});
+    const EvalResult result =
+        runner.evaluate_fixed_shape(SchemeKind::kJoint, shape, point);
+    EXPECT_EQ(result.monte_carlo.release_ahead, 1.0 - release.rate());
+    EXPECT_EQ(result.monte_carlo.drop, 1.0 - drop.rate());
+    EXPECT_EQ(result.release_stderr, release.stderr_rate());
+    EXPECT_EQ(result.drop_stderr, drop.stderr_rate());
+    EXPECT_EQ(result.mean_compromised_suffix,
+              static_cast<double>(suffix_sum) /
+                  static_cast<double>(point.runs));
+  }
+}
+
+TEST(SweepSerialEquivalence, RepeatedEvaluationIsStable) {
+  SweepRunner runner(SweepOptions{8, 8});
+  const EvalPoint point = test_point(0.3, /*churn=*/true);
+  const EvalResult a = runner.evaluate_point(SchemeKind::kShare, point);
+  const EvalResult b = runner.evaluate_point(SchemeKind::kShare, point);
+  expect_bit_identical(a, b);
+}
+
+TEST(SweepTally, AddAndMergeAreExact) {
+  StatRunOutcome hit;
+  hit.release_success = true;
+  hit.drop_success = false;
+  hit.compromised_suffix = 3;
+  StatRunOutcome miss;
+  miss.release_success = false;
+  miss.drop_success = true;
+  miss.compromised_suffix = 0;
+
+  RunTally left, right, serial;
+  for (int i = 0; i < 5; ++i) {
+    left.add(hit);
+    serial.add(hit);
+  }
+  for (int i = 0; i < 7; ++i) {
+    right.add(miss);
+    serial.add(miss);
+  }
+  left.merge(right);
+
+  EXPECT_EQ(left.runs(), serial.runs());
+  EXPECT_EQ(left.release.successes(), serial.release.successes());
+  EXPECT_EQ(left.drop.successes(), serial.drop.successes());
+  EXPECT_EQ(left.suffix_sum(), serial.suffix_sum());
+  EXPECT_EQ(left.suffix_at_least(1), 5u);
+  EXPECT_EQ(left.suffix_at_least(3), 5u);
+  EXPECT_EQ(left.suffix_at_least(4), 0u);
+  EXPECT_EQ(left.mean_suffix(), serial.mean_suffix());
+}
+
+TEST(SweepTally, EmptyTallyIsZero) {
+  const RunTally tally;
+  EXPECT_EQ(tally.runs(), 0u);
+  EXPECT_EQ(tally.suffix_sum(), 0u);
+  EXPECT_EQ(tally.mean_suffix(), 0.0);
+  EXPECT_EQ(tally.suffix_at_least(0), 0u);
+}
+
+TEST(SweepRunnerConfig, ZeroRunsYieldsEmptyTally) {
+  SweepRunner runner(SweepOptions{4, 64});
+  EvalPoint point = test_point(0.3, /*churn=*/false);
+  point.runs = 0;
+  const RunTally tally = runner.run_tallies(SchemeKind::kCentralized,
+                                            PathShape{1, 1}, std::nullopt,
+                                            point);
+  EXPECT_EQ(tally.runs(), 0u);
+}
+
+TEST(SweepRunnerConfig, ResolvesAtLeastOneThread) {
+  SweepRunner runner(SweepOptions{0, 64});
+  EXPECT_GE(runner.threads(), 1u);
+}
+
+TEST(SweepRunnerConfig, WorkerExceptionPropagatesAndRunnerSurvives) {
+  // A throwing stat run (degenerate shape) must surface as the same
+  // catchable exception the old serial loop threw — from worker threads
+  // too — and must not wedge the pool for later evaluations.
+  SweepRunner runner(SweepOptions{4, 8});
+  const EvalPoint point = test_point(0.3, /*churn=*/false, 100);
+  EXPECT_THROW(
+      runner.evaluate_fixed_shape(SchemeKind::kJoint, PathShape{0, 5}, point),
+      emergence::PreconditionError);
+  const EvalResult ok =
+      runner.evaluate_fixed_shape(SchemeKind::kJoint, PathShape{2, 5}, point);
+  EXPECT_EQ(ok.shape.k, 2u);
+  expect_bit_identical(
+      ok, SweepRunner(SweepOptions{1, 8})
+              .evaluate_fixed_shape(SchemeKind::kJoint, PathShape{2, 5}, point));
+}
+
+TEST(SweepRunnerConfig, SharePlanRequiredIffShareScheme) {
+  SweepRunner runner(SweepOptions{1, 64});
+  const EvalPoint point = test_point(0.1, /*churn=*/false, 10);
+  EXPECT_THROW(runner.run_tallies(SchemeKind::kShare, PathShape{2, 4},
+                                  std::nullopt, point),
+               emergence::PreconditionError);
+}
+
+}  // namespace
+}  // namespace emergence::core
