@@ -185,19 +185,47 @@ bool ChordNetwork::put(const NodeId& key, Bytes value) {
 std::optional<Bytes> ChordNetwork::get(const NodeId& key) {
   const LookupResult result = lookup(key);
   if (!result.ok) return std::nullopt;
-  ChordNode* primary = live_node(result.node);
-  if (primary != nullptr) {
-    auto value = primary->storage().get(key);
+  // Replicas live on the first replication_factor live successors of the
+  // primary *at put/repair time*. When responsibility migrates afterwards
+  // (the primary dies, or fresh nodes join between the key and the old
+  // replica set), the current responsible node can sit several hops short
+  // of the surviving copies, so a walk of exactly replication_factor nodes
+  // misses reachable data. Walk up to successor_list_size extra live nodes
+  // and stop when the ring wraps back to the start.
+  NodeId target = result.node;
+  const std::size_t max_visits =
+      config_.replication_factor + config_.successor_list_size;
+  for (std::size_t visit = 0; visit < max_visits; ++visit) {
+    ChordNode* t = live_node(target);
+    if (t == nullptr) break;
+    auto value = t->storage().get(key);
     if (value.has_value()) return value;
-    // Fall back to replicas along the successor chain.
-    NodeId target = primary->successor();
-    for (std::size_t copy = 1; copy < config_.replication_factor; ++copy) {
-      ChordNode* t = live_node(target);
-      if (t == nullptr || t == primary) break;
-      auto replica = t->storage().get(key);
-      if (replica.has_value()) return replica;
-      target = t->successor();
+    NodeId next = t->successor();
+    if (next == t->id()) {
+      // Successor list exhausted (e.g. a fresh joiner whose only successor
+      // died before it re-stabilized; routed lookups would just bounce off
+      // the same broken pointer). Step to the true ring successor directly
+      // — an O(live) oracle step in the spirit of Kademlia's
+      // closest_alive_brute_force, rare enough to be free, and equal to
+      // what one stabilize round would restore anyway.
+      bool have_next = false, have_wrap = false;
+      NodeId wrap{};
+      for (const NodeId& id : alive_ids_) {
+        if (id == t->id()) continue;
+        if (t->id() < id && (!have_next || id < next)) {
+          next = id;
+          have_next = true;
+        }
+        if (!have_wrap || id < wrap) {
+          wrap = id;
+          have_wrap = true;
+        }
+      }
+      if (!have_next && !have_wrap) break;  // genuinely alone
+      if (!have_next) next = wrap;
     }
+    if (next == result.node) break;  // wrapped around
+    target = next;
   }
   return std::nullopt;
 }

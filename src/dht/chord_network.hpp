@@ -59,18 +59,18 @@ class ChordNetwork final : public Network {
   void bootstrap(std::size_t count);
 
   /// Adds one node via the Chord join protocol. Returns its id.
-  NodeId add_node();
-  NodeId add_node_with_id(const NodeId& id);
+  NodeId add_node() override;
+  NodeId add_node_with_id(const NodeId& id) override;
 
   /// Abrupt failure (data on the node is lost).
-  void kill_node(const NodeId& id);
+  void kill_node(const NodeId& id) override;
 
   /// Graceful departure (data handed off first).
   void remove_node(const NodeId& id);
 
   std::size_t alive_count() const override { return alive_ids_.size(); }
   std::size_t total_count() const { return nodes_.size(); }
-  const std::vector<NodeId>& alive_ids() const { return alive_ids_; }
+  const std::vector<NodeId>& alive_ids() const override { return alive_ids_; }
 
   ChordNode* node(const NodeId& id);
   const ChordNode* node(const NodeId& id) const;

@@ -2,7 +2,7 @@
 
 namespace emergence::dht {
 
-ChurnDriver::ChurnDriver(ChordNetwork& network, ChurnConfig config)
+ChurnDriver::ChurnDriver(Network& network, ChurnConfig config)
     : network_(network), config_(config) {}
 
 void ChurnDriver::start() {
@@ -21,8 +21,7 @@ void ChurnDriver::schedule_outage(const NodeId& id) {
 }
 
 void ChurnDriver::handle_outage(const NodeId& id) {
-  ChordNode* n = network_.live_node(id);
-  if (n == nullptr) return;  // already gone
+  if (!network_.is_alive(id)) return;  // already gone
 
   const bool transient = network_.rng().chance(config_.transient_fraction);
   if (transient) {

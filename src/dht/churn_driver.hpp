@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <functional>
 
-#include "dht/chord_network.hpp"
+#include "dht/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace emergence::dht {
@@ -27,10 +27,11 @@ struct ChurnConfig {
   double mean_downtime = 120.0;  ///< seconds, for transient outages
 };
 
-/// Drives exponential node churn over a ChordNetwork.
+/// Drives exponential node churn over any DHT backend (Chord or Kademlia)
+/// through the Network topology-mutation contract.
 class ChurnDriver {
  public:
-  ChurnDriver(ChordNetwork& network, ChurnConfig config);
+  ChurnDriver(Network& network, ChurnConfig config);
 
   /// Samples a residual lifetime for every live node and schedules its
   /// first outage. Call once after the network is bootstrapped.
@@ -51,7 +52,7 @@ class ChurnDriver {
   void schedule_outage(const NodeId& id);
   void handle_outage(const NodeId& id);
 
-  ChordNetwork& network_;
+  Network& network_;
   ChurnConfig config_;
   bool running_ = false;
   std::uint64_t deaths_ = 0;

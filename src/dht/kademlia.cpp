@@ -120,9 +120,16 @@ void KademliaNetwork::bootstrap(std::size_t count) {
   if (config_.run_maintenance) schedule_republish();
 }
 
-NodeId KademliaNetwork::add_node() {
-  const NodeId id = fresh_node_id();
-  nodes_.emplace(id, std::make_unique<KademliaNode>(id, kIdBits));
+NodeId KademliaNetwork::add_node() { return join_node(fresh_node_id()); }
+
+NodeId KademliaNetwork::add_node_with_id(const NodeId& id) {
+  require(nodes_.find(id) == nodes_.end() || !nodes_.at(id)->alive(),
+          "KademliaNetwork::add_node_with_id: id already in use");
+  return join_node(id);
+}
+
+NodeId KademliaNetwork::join_node(const NodeId& id) {
+  nodes_[id] = std::make_unique<KademliaNode>(id, kIdBits);
   KademliaNode& fresh = *nodes_.at(id);
   if (!alive_ids_.empty()) {
     // Learn the bootstrap contact, then run a self-lookup: every node on

@@ -84,10 +84,14 @@ class KademliaNetwork final : public Network {
   void bootstrap(std::size_t count);
 
   /// Joins one node through a random live bootstrap contact.
-  NodeId add_node();
+  NodeId add_node() override;
+
+  /// Rejoins with a specific id (transient churn outages; parity with
+  /// ChordNetwork so the churn driver runs over either backend).
+  NodeId add_node_with_id(const NodeId& id) override;
 
   /// Abrupt failure.
-  void kill_node(const NodeId& id);
+  void kill_node(const NodeId& id) override;
 
   KademliaNode* node(const NodeId& id);
   const KademliaNode* node(const NodeId& id) const;
@@ -127,7 +131,7 @@ class KademliaNetwork final : public Network {
     return config_.max_message_latency;
   }
 
-  const std::vector<NodeId>& alive_ids() const { return alive_ids_; }
+  const std::vector<NodeId>& alive_ids() const override { return alive_ids_; }
   const KademliaConfig& config() const { return config_; }
   std::uint64_t lookup_count() const { return lookups_; }
   double mean_lookup_hops() const {
@@ -142,6 +146,7 @@ class KademliaNetwork final : public Network {
 
  private:
   NodeId fresh_node_id();
+  NodeId join_node(const NodeId& id);
   void register_alive(const NodeId& id);
   void unregister_alive(const NodeId& id);
   void schedule_republish();

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
@@ -72,6 +73,16 @@ class Network {
   // -- exposure tracking --------------------------------------------------------
   virtual void set_store_observer(StoreObserver observer) = 0;
   virtual const StoreObserver& store_observer() const = 0;
+
+  // -- topology mutation (churn driving) ----------------------------------------
+  /// Current live members, in backend-defined deterministic order.
+  virtual const std::vector<NodeId>& alive_ids() const = 0;
+  /// Abrupt failure: local state (storage, in-RAM packages) is lost.
+  virtual void kill_node(const NodeId& id) = 0;
+  /// Joins a fresh node through a random live bootstrap contact.
+  virtual NodeId add_node() = 0;
+  /// Rejoins with a specific id (transient outages re-use the old identity).
+  virtual NodeId add_node_with_id(const NodeId& id) = 0;
 
   // -- environment ---------------------------------------------------------------
   virtual std::size_t alive_count() const = 0;

@@ -56,7 +56,9 @@ class Adversary {
  public:
   struct Config {
     AttackMode mode = AttackMode::kCovert;
-    std::size_t onion_slots_k = 1;  ///< holders 0..k-1 share the column key
+    /// Holders 0..k-1 share the column key (pre-assigned-key schemes).
+    /// Pass 0 for the share scheme: every holder owns an individual key.
+    std::size_t onion_slots_k = 1;
     std::size_t share_threshold_m = 1;  ///< Shamir threshold (share scheme)
     crypto::CipherBackend backend = crypto::CipherBackend::kChaCha20;
   };

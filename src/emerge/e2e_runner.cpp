@@ -1,0 +1,541 @@
+#include "emerge/e2e_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "cloud/cloud_store.hpp"
+#include "common/error.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/churn_driver.hpp"
+#include "dht/kademlia.hpp"
+#include "emerge/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::core {
+
+std::string to_string(DhtBackend backend) {
+  return backend == DhtBackend::kChord ? "chord" : "kademlia";
+}
+
+std::size_t E2eScenario::malicious_count() const {
+  return static_cast<std::size_t>(
+      std::floor(p * static_cast<double>(population)));
+}
+
+PathShape E2eScenario::session_shape() const {
+  return kind == SchemeKind::kCentralized ? PathShape{1, 1} : shape;
+}
+
+std::size_t E2eScenario::resolved_carriers() const {
+  if (kind != SchemeKind::kShare) return session_shape().k;
+  return carriers_n != 0 ? carriers_n : shape.k + 1;
+}
+
+std::size_t E2eScenario::resolved_threshold() const {
+  return threshold_m != 0 ? threshold_m : shape.k;
+}
+
+void E2eTally::merge(const E2eTally& other) {
+  tally.merge(other.tally);
+  sessions_delivered += other.sessions_delivered;
+  delivered_on_time += other.delivered_on_time;
+  max_delivery_offset_ns =
+      std::max(max_delivery_offset_ns, other.max_delivery_offset_ns);
+  churn_deaths += other.churn_deaths;
+  packages_sent += other.packages_sent;
+  packages_delivered += other.packages_delivered;
+  packages_dropped_malicious += other.packages_dropped_malicious;
+  malformed_packages += other.malformed_packages;
+  holders_stuck += other.holders_stuck;
+  key_assignments += other.key_assignments;
+  deliveries += other.deliveries;
+}
+
+bool CrossValResult::pass() const {
+  return std::all_of(metrics.begin(), metrics.end(),
+                     [](const CrossValMetric& m) { return m.pass; });
+}
+
+std::size_t E2eRunner::restore_margin_periods(double earliest,
+                                              double release_time,
+                                              double holding_period,
+                                              std::size_t path_length) {
+  // Restores happen at package-arrival instants ts + (c-1)*th plus small
+  // overheads (probe offset, assembly delay, message latency), all well
+  // under th/2 for any valid session, so rounding recovers the period count
+  // exactly.
+  const double periods = (release_time - earliest) / holding_period;
+  const long long rounded = std::llround(periods);
+  if (rounded <= 0) return 0;
+  return std::min<std::size_t>(static_cast<std::size_t>(rounded), path_length);
+}
+
+namespace {
+
+/// One full-stack world: fresh simulator, DHT, cloud, coalition and
+/// scenario.sessions concurrent sessions, driven through tr. Everything is
+/// seeded from fork(run_index) sub-streams of the scenario seed, so the
+/// outcome is a pure function of (scenario, run_index) — the property the
+/// sharded sweep's bit-identity rests on.
+void run_world(const E2eScenario& s, std::size_t run_index, E2eTally& out) {
+  const Rng master(s.seed);
+  const Rng run_master = master.fork(run_index);
+  Rng net_rng = run_master.fork(1);
+  Rng mark_rng = run_master.fork(2);
+  Rng churn_rng = run_master.fork(3);
+
+  sim::Simulator sim;
+  std::unique_ptr<dht::ChordNetwork> chord;
+  std::unique_ptr<dht::KademliaNetwork> kademlia;
+  dht::Network* net = nullptr;
+  if (s.backend == DhtBackend::kChord) {
+    dht::NetworkConfig cfg;
+    // Maintenance matters only under churn (repair is what hands stored
+    // layer keys to replacement holders); without churn it only adds
+    // events. Interval choice: repair must run much more often than the
+    // holding period so the stat engine's instant-repair renewal model is a
+    // good limit (docs/architecture.md, "Two engines, one truth").
+    cfg.run_maintenance = s.churn;
+    cfg.stabilize_interval = 15.0;
+    cfg.replica_repair_interval = 30.0;
+    chord = std::make_unique<dht::ChordNetwork>(sim, net_rng, cfg);
+    chord->bootstrap(s.population);
+    net = chord.get();
+  } else {
+    dht::KademliaConfig cfg;
+    cfg.run_maintenance = s.churn;
+    cfg.republish_interval = 30.0;
+    kademlia = std::make_unique<dht::KademliaNetwork>(sim, net_rng, cfg);
+    kademlia->bootstrap(s.population);
+    net = kademlia.get();
+  }
+
+  cloud::CloudStore cloud;
+  const PathShape shape = s.session_shape();
+  const double th = s.emerging_time / static_cast<double>(shape.l);
+  const std::size_t coalition_size = s.malicious_count();
+
+  // One Adversary per session, all marking the same coalition. Sessions are
+  // cryptographically independent (fresh keys, nonced packages), so a
+  // shared knowledge base adds no power — but Adversary keys its knowledge
+  // by LayerKeyId{column, holder}, which concurrent sessions reuse, so a
+  // shared instance would conflate their key material.
+  std::vector<std::unique_ptr<Adversary>> adversaries;
+  if (coalition_size > 0) {
+    std::vector<dht::NodeId> coalition;
+    const std::vector<dht::NodeId>& initial = net->alive_ids();
+    for (std::uint32_t pick :
+         mark_rng.sample_without_replacement(initial.size(), coalition_size)) {
+      coalition.push_back(initial[pick]);
+    }
+    for (std::size_t i = 0; i < s.sessions; ++i) {
+      Adversary::Config cfg;
+      cfg.mode = s.attack_mode;
+      // Share-scheme holders carry individual keys (protocol key_id_for),
+      // so no slots share the column key there.
+      cfg.onion_slots_k = s.kind == SchemeKind::kShare ? 0 : shape.k;
+      cfg.share_threshold_m =
+          s.kind == SchemeKind::kShare ? s.resolved_threshold() : 1;
+      auto adversary = std::make_unique<Adversary>(cfg);
+      for (const dht::NodeId& id : coalition) adversary->mark_malicious(id);
+      adversaries.push_back(std::move(adversary));
+    }
+  }
+
+  // Marking precedes send(), so pre-assigned keys landing on coalition
+  // nodes are exposed through the store observer the moment they are
+  // stored — the stat engine's "keys known from ts" assumption.
+  std::vector<std::unique_ptr<TimedReleaseSession>> sessions;
+  SessionConfig config;
+  config.kind = s.kind == SchemeKind::kCentralized ? SchemeKind::kJoint : s.kind;
+  config.shape = shape;
+  if (s.kind == SchemeKind::kShare) {
+    config.carriers_n = s.resolved_carriers();
+    config.threshold_m = s.resolved_threshold();
+  }
+  config.emerging_time = s.emerging_time;
+  for (std::size_t i = 0; i < s.sessions; ++i) {
+    Adversary* adversary = adversaries.empty() ? nullptr : adversaries[i].get();
+    sessions.push_back(std::make_unique<TimedReleaseSession>(
+        *net, cloud, adversary, config, run_master.fork(16 + i).seed()));
+    sessions[i]->send(bytes_of("e2e-crossval-payload"),
+                      "receiver-" + std::to_string(i));
+  }
+
+  std::optional<dht::ChurnDriver> churn;
+  if (s.churn) {
+    dht::ChurnConfig cfg;
+    cfg.mean_lifetime = s.emerging_time / s.churn_alpha;
+    cfg.replace_dead_nodes = true;
+    churn.emplace(*net, cfg);
+    // Replacement joins come from outside the initial population and are
+    // malicious i.i.d. at the coalition rate (sampler.hpp draw_fresh).
+    const double fresh_rate = static_cast<double>(coalition_size) /
+                              static_cast<double>(s.population);
+    churn->on_death = [&adversaries, &churn_rng, fresh_rate](
+                          const dht::NodeId&, const dht::NodeId* replacement) {
+      if (replacement == nullptr || adversaries.empty()) return;
+      if (!churn_rng.chance(fresh_rate)) return;
+      for (auto& adversary : adversaries)
+        adversary->mark_malicious(*replacement);
+    };
+    churn->start();
+  }
+
+  // Restore probes: the coalition's knowledge grows at package-arrival
+  // instants ts + (c-1)*th (+ latency), so one attempt_restore shortly
+  // after each arrival wave pins the earliest possession time to within
+  // probe_offset — far below the th/2 the margin rounding tolerates.
+  if (!adversaries.empty()) {
+    const double probe_offset = std::min(0.5, th / 4.0);
+    for (std::size_t c = 1; c <= shape.l; ++c) {
+      sim.schedule_at(static_cast<double>(c - 1) * th + probe_offset,
+                      [&sim, &adversaries]() {
+                        for (auto& adversary : adversaries)
+                          adversary->attempt_restore(sim.now());
+                      });
+    }
+  }
+
+  sim.run_until(s.emerging_time + 5.0);
+
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const TimedReleaseSession& session = *sessions[i];
+    const SessionReport& report = session.report();
+
+    StatRunOutcome outcome;
+    const bool delivered = session.secret_released();
+    outcome.drop_success = !delivered;
+    std::size_t margin = 0;
+    if (!adversaries.empty()) {
+      const auto earliest = adversaries[i]->earliest_secret_time();
+      if (earliest.has_value()) {
+        margin = E2eRunner::restore_margin_periods(
+            *earliest, session.release_time(), th, shape.l);
+      }
+    }
+    outcome.compromised_suffix = margin;
+    // Strict release event, matched to the stat engine: the share scheme's
+    // cascade fires from any column (margin >= 2 excludes the pure
+    // terminal-slot leak); the pre-assigned-key schemes need every column,
+    // i.e. a restore essentially at ts (margin == l).
+    outcome.release_success =
+        s.kind == SchemeKind::kShare ? margin >= 2 : margin >= shape.l;
+    out.tally.add(outcome);
+
+    if (delivered) {
+      ++out.sessions_delivered;
+      const double offset =
+          *session.first_delivery_time() - session.release_time();
+      const std::int64_t offset_ns = std::llround(offset * 1e9);
+      const std::int64_t abs_ns = offset_ns < 0 ? -offset_ns : offset_ns;
+      if (abs_ns <= E2eRunner::kDeliveryToleranceNs) ++out.delivered_on_time;
+      out.max_delivery_offset_ns = std::max(out.max_delivery_offset_ns, abs_ns);
+    }
+    out.packages_sent += report.packages_sent;
+    out.packages_delivered += report.packages_delivered;
+    out.packages_dropped_malicious += report.packages_dropped_malicious;
+    out.malformed_packages += report.malformed_packages;
+    out.holders_stuck += report.holders_stuck;
+    out.key_assignments += report.key_assignments;
+    out.deliveries += report.deliveries;
+  }
+  if (churn.has_value()) out.churn_deaths += churn->deaths();
+}
+
+}  // namespace
+
+E2eTally E2eRunner::run_tallies(const E2eScenario& s) {
+  require(s.runs >= 1, "E2eRunner: need at least one run");
+  require(s.sessions >= 1, "E2eRunner: need at least one session");
+  require(s.p >= 0.0 && s.p <= 1.0, "E2eRunner: p out of range");
+  if (s.kind == SchemeKind::kShare) {
+    require(s.resolved_carriers() >= s.shape.k,
+            "E2eRunner: share scenario needs carriers_n >= k");
+    require(s.resolved_threshold() >= 1 &&
+                s.resolved_threshold() <= s.resolved_carriers(),
+            "E2eRunner: invalid share threshold");
+  }
+
+  // Fixed shard size: the decomposition is a function of the run count
+  // only, never of the thread count (the sweep determinism rule). Worlds
+  // are ~ms-scale, so small shards keep the pool balanced.
+  const std::size_t shard_size = 8;
+  const std::size_t shard_count = (s.runs + shard_size - 1) / shard_size;
+  std::vector<E2eTally> tallies(shard_count);
+  sweeps_.run_shards(shard_count, [&](std::size_t shard) {
+    E2eTally tally;
+    const std::size_t begin = shard * shard_size;
+    const std::size_t end = std::min(s.runs, begin + shard_size);
+    for (std::size_t run = begin; run < end; ++run) run_world(s, run, tally);
+    tallies[shard] = std::move(tally);
+  });
+
+  // Merge rule: ascending shard index (see sweep.cpp).
+  E2eTally total;
+  for (const E2eTally& tally : tallies) total.merge(tally);
+  return total;
+}
+
+RunTally E2eRunner::stat_tallies(const E2eScenario& s, std::size_t stat_runs) {
+  EvalPoint point;
+  point.p = s.p;
+  point.population = s.population;
+  point.runs = stat_runs;
+  point.seed = s.seed ^ 0x57a7e57a7ULL;
+  if (s.churn) point.churn = ChurnSpec{true, 1.0, s.churn_alpha};
+
+  std::optional<SharePlan> plan;
+  if (s.kind == SchemeKind::kShare) {
+    SharePlan share;
+    share.base.kind = SchemeKind::kJoint;
+    share.base.shape = s.shape;
+    share.alg1.n = s.resolved_carriers();
+    for (std::size_t c = 2; c <= s.shape.l; ++c) {
+      Alg1Column column;
+      column.column = c;
+      column.m = s.resolved_threshold();
+      column.n = s.resolved_carriers();
+      share.alg1.columns.push_back(column);
+    }
+    plan = share;
+  }
+  return sweeps_.run_tallies(s.kind, s.session_shape(), plan, point);
+}
+
+namespace {
+
+CrossValMetric rate_metric(const std::string& name, std::uint64_t fs_successes,
+                           std::size_t fs_trials, std::size_t fs_effective,
+                           std::uint64_t stat_successes,
+                           std::size_t stat_trials, double z) {
+  CrossValMetric m;
+  m.metric = name;
+  m.fs_trials = fs_trials;
+  m.stat_trials = stat_trials;
+  m.full_stack = fs_trials == 0 ? 0.0
+                                : static_cast<double>(fs_successes) /
+                                      static_cast<double>(fs_trials);
+  m.stat_engine = stat_trials == 0 ? 0.0
+                                   : static_cast<double>(stat_successes) /
+                                         static_cast<double>(stat_trials);
+  const double pooled = static_cast<double>(fs_successes + stat_successes) /
+                        static_cast<double>(fs_trials + stat_trials);
+  const double inv_n = 1.0 / static_cast<double>(fs_effective) +
+                       1.0 / static_cast<double>(stat_trials);
+  m.bound = z * std::sqrt(pooled * (1.0 - pooled) * inv_n) + inv_n;
+  m.pass = std::abs(m.diff()) <= m.bound;
+  return m;
+}
+
+}  // namespace
+
+CrossValResult E2eRunner::cross_validate(const E2eScenario& scenario,
+                                         std::size_t stat_runs, double z) {
+  CrossValResult result;
+  result.scenario = scenario;
+  result.full_stack = run_tallies(scenario);
+  result.stat = stat_tallies(scenario, stat_runs);
+
+  const E2eTally& fs = result.full_stack;
+  const RunTally& st = result.stat;
+  const std::size_t fs_trials = fs.trials();
+  // Sessions of one world share a coalition and a ring: conservatively use
+  // the world count as the independent-sample size for the noise bound.
+  const std::size_t fs_effective = scenario.runs;
+  const bool covert = scenario.attack_mode == AttackMode::kCovert;
+
+  // Timing gate (always): the protocol promises delivery exactly at tr.
+  {
+    CrossValMetric m;
+    m.metric = "delivered_on_time";
+    m.fs_trials = fs_trials;
+    m.stat_trials = 0;
+    m.full_stack =
+        fs.sessions_delivered == 0
+            ? 1.0
+            : static_cast<double>(fs.delivered_on_time) /
+                  static_cast<double>(fs.sessions_delivered);
+    m.stat_engine = 1.0;
+    m.bound = 0.0;
+    m.pass = fs.delivered_on_time == fs.sessions_delivered;
+    result.metrics.push_back(m);
+  }
+
+  if (covert && !scenario.churn) {
+    if (scenario.malicious_count() > 0) {
+      // Release rates: identical strict event in both engines.
+      result.metrics.push_back(rate_metric(
+          "release", fs.tally.release.successes(), fs_trials, fs_effective,
+          st.release.successes(), st.runs(), z));
+      // Restore-margin tail: any possession before tr (includes the
+      // terminal-slot leak the strict metric excludes).
+      result.metrics.push_back(rate_metric(
+          "restore_margin_ge1", fs.tally.suffix_at_least(1), fs_trials,
+          fs_effective, st.suffix_at_least(1), st.runs(), z));
+    }
+    // Covert holders forward everything and nobody dies: delivery is
+    // guaranteed, so any full-stack drop is a bug, not noise.
+    CrossValMetric m;
+    m.metric = "delivered_all";
+    m.fs_trials = fs_trials;
+    m.stat_trials = 0;
+    m.full_stack = fs_trials == 0 ? 1.0
+                                  : static_cast<double>(fs.sessions_delivered) /
+                                        static_cast<double>(fs_trials);
+    m.stat_engine = 1.0;
+    m.bound = 0.0;
+    m.pass = fs.tally.drop.successes() == 0;
+    result.metrics.push_back(m);
+  }
+
+  if (scenario.attack_mode == AttackMode::kDropping ||
+      (covert && scenario.malicious_count() == 0 && scenario.churn)) {
+    // Drop rates: dropping coalitions and/or churn losses; the stat
+    // engine's drop model assumes exactly this adversary behavior.
+    result.metrics.push_back(rate_metric("drop", fs.tally.drop.successes(),
+                                         fs_trials, fs_effective,
+                                         st.drop.successes(), st.runs(), z));
+  }
+
+  return result;
+}
+
+std::vector<E2eScenario> default_crossval_matrix(std::size_t runs,
+                                                 std::size_t population) {
+  std::vector<E2eScenario> matrix;
+  std::uint64_t seed = 0xE2E0C0DE;
+  auto add = [&](E2eScenario s) {
+    s.runs = runs;
+    s.population = population;
+    s.seed = seed++;
+    matrix.push_back(std::move(s));
+  };
+
+  const PathShape fig5{2, 3};  // the paper's running example geometry
+
+  // -- covert, no churn: release-rate validation, both backends ----------------
+  for (DhtBackend backend : {DhtBackend::kChord, DhtBackend::kKademlia}) {
+    for (SchemeKind kind :
+         {SchemeKind::kCentralized, SchemeKind::kDisjoint, SchemeKind::kJoint,
+          SchemeKind::kShare}) {
+      E2eScenario s;
+      s.name = "covert_" + to_string(kind) + "_" + to_string(backend);
+      s.kind = kind;
+      s.backend = backend;
+      s.shape = fig5;
+      if (kind == SchemeKind::kShare) {
+        s.carriers_n = 4;
+        s.threshold_m = 2;
+      }
+      s.p = 0.3;
+      s.attack_mode = AttackMode::kCovert;
+      add(s);
+    }
+  }
+
+  // -- dropping, no churn: drop-rate validation --------------------------------
+  for (SchemeKind kind :
+       {SchemeKind::kCentralized, SchemeKind::kDisjoint, SchemeKind::kJoint,
+        SchemeKind::kShare}) {
+    E2eScenario s;
+    s.name = "dropping_" + to_string(kind) + "_chord";
+    s.kind = kind;
+    s.shape = fig5;
+    if (kind == SchemeKind::kShare) {
+      s.carriers_n = 4;
+      s.threshold_m = 2;
+    }
+    s.p = 0.3;
+    s.attack_mode = AttackMode::kDropping;
+    add(s);
+  }
+  {
+    E2eScenario s;
+    s.name = "dropping_joint_kademlia";
+    s.kind = SchemeKind::kJoint;
+    s.backend = DhtBackend::kKademlia;
+    s.shape = fig5;
+    s.p = 0.3;
+    s.attack_mode = AttackMode::kDropping;
+    add(s);
+  }
+
+  // -- churn, no adversary: pure availability vs the renewal model -------------
+  for (DhtBackend backend : {DhtBackend::kChord, DhtBackend::kKademlia}) {
+    E2eScenario s;
+    s.name = "churn_joint_" + to_string(backend);
+    s.kind = SchemeKind::kJoint;
+    s.backend = backend;
+    s.shape = fig5;
+    s.churn = true;
+    s.churn_alpha = 1.0;
+    add(s);
+  }
+  {
+    E2eScenario s;
+    s.name = "churn_share_chord";
+    s.kind = SchemeKind::kShare;
+    s.shape = fig5;
+    s.carriers_n = 4;
+    s.threshold_m = 2;
+    s.churn = true;
+    s.churn_alpha = 2.0;
+    add(s);
+  }
+
+  // -- churn + dropping coalition: the combined stress -------------------------
+  {
+    E2eScenario s;
+    s.name = "churn_dropping_joint_chord";
+    s.kind = SchemeKind::kJoint;
+    s.shape = fig5;
+    s.p = 0.2;
+    s.attack_mode = AttackMode::kDropping;
+    s.churn = true;
+    s.churn_alpha = 1.0;
+    add(s);
+  }
+  {
+    E2eScenario s;
+    s.name = "churn_dropping_share_chord";
+    s.kind = SchemeKind::kShare;
+    s.shape = fig5;
+    s.carriers_n = 4;
+    s.threshold_m = 2;
+    s.p = 0.2;
+    s.attack_mode = AttackMode::kDropping;
+    s.churn = true;
+    s.churn_alpha = 2.0;
+    add(s);
+  }
+
+  // -- concurrent sessions: 2 / 4 / 8 on one ring ------------------------------
+  for (std::size_t sessions : {2u, 4u, 8u}) {
+    E2eScenario s;
+    s.name = "covert_joint_chord_x" + std::to_string(sessions);
+    s.kind = SchemeKind::kJoint;
+    s.shape = fig5;
+    s.p = 0.3;
+    s.sessions = sessions;
+    add(s);
+  }
+  {
+    E2eScenario s;
+    s.name = "dropping_share_chord_x2";
+    s.kind = SchemeKind::kShare;
+    s.shape = fig5;
+    s.carriers_n = 4;
+    s.threshold_m = 2;
+    s.p = 0.3;
+    s.attack_mode = AttackMode::kDropping;
+    s.sessions = 2;
+    add(s);
+  }
+
+  return matrix;
+}
+
+}  // namespace emergence::core

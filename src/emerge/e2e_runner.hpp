@@ -1,0 +1,181 @@
+// End-to-end scenario sweep harness: Monte-Carlo fleets of the *full*
+// protocol stack, cross-validated against the statistical engine.
+//
+// Each run builds a fresh world — Simulator + DHT backend (Chord or
+// Kademlia) + CloudStore + Adversary coalition + one or more concurrent
+// TimedReleaseSessions — drives virtual time through tr, and reduces the
+// outcomes (released early / delivered at tr / dropped, first-delivery
+// offset from tr, SessionReport counters) into the exact-integer
+// RunTally/merge machinery of emerge/sweep.*. Runs are seeded with
+// Rng::fork(run_index) and sharded over SweepRunner::run_shards, so tallies
+// are bit-identical at any thread count, like every other sweep in this
+// repository.
+//
+// Cross-validation contract (docs/architecture.md, "Two engines, one
+// truth"): at a pinned parameter point the full stack and the stat engine
+// estimate the same Bernoulli rates, so their difference is bounded by
+// two-sample binomial noise. Release rates are gated on churn-free covert
+// scenarios (where the engines define the identical event: the coalition
+// first holds the secret >= x holding periods before tr); drop rates are
+// gated on dropping-adversary and churn-availability scenarios. A
+// divergence beyond the z-bound is, by construction, a bug in one of the
+// engines — this harness has already flagged and fixed three (the share
+// scheme's all-columns release semantics in stat_engine.cpp, its shared
+// onion-slot keys, and the stored layer-key placement in protocol.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emerge/adversary.hpp"
+#include "emerge/sweep.hpp"
+#include "emerge/types.hpp"
+
+namespace emergence::core {
+
+/// DHT substrate for a scenario (the role Overlay Weaver's pluggable
+/// algorithms played for the paper).
+enum class DhtBackend : std::uint8_t { kChord, kKademlia };
+
+std::string to_string(DhtBackend backend);
+
+/// One pinned full-stack scenario of the cross-validation matrix.
+struct E2eScenario {
+  std::string name;  ///< row label in reports and BENCH json tables
+
+  SchemeKind kind = SchemeKind::kJoint;  ///< kCentralized runs a 1x1 session
+  DhtBackend backend = DhtBackend::kChord;
+  PathShape shape{2, 3};
+  std::size_t carriers_n = 0;   ///< share scheme: holders per column (0 = k+1)
+  std::size_t threshold_m = 0;  ///< share scheme: Shamir threshold (0 = k)
+
+  std::size_t population = 100;  ///< DHT size (paper's Overlay Weaver runs: 100)
+  double p = 0.0;                ///< malicious node fraction
+  AttackMode attack_mode = AttackMode::kCovert;
+
+  bool churn = false;
+  double churn_alpha = 1.0;  ///< T = alpha * mean node lifetime
+
+  std::size_t sessions = 1;        ///< concurrent sessions per world
+  double emerging_time = 1800.0;   ///< T in virtual seconds
+  std::size_t runs = 200;          ///< Monte-Carlo worlds
+  std::uint64_t seed = 0xE2E0;
+
+  std::size_t malicious_count() const;  ///< floor(p * population)
+  PathShape session_shape() const;      ///< {1,1} for kCentralized
+  std::size_t resolved_carriers() const;
+  std::size_t resolved_threshold() const;
+};
+
+/// Exact aggregate of full-stack outcomes over a set of sessions. Embeds
+/// the sweep engine's RunTally (release / drop rates plus the
+/// restore-margin histogram) and adds protocol-level counters. Every field
+/// is an integer, so merge() is associative and commutative and any
+/// sharding of the same runs reproduces the serial tallies bit-identically;
+/// shards are still merged in ascending index order (the sweep rule).
+struct E2eTally {
+  /// release = "coalition restored the secret early" (strict event, see
+  /// E2eRunner::restore_margin_periods); drop = "no delivery by tr";
+  /// suffix_histogram[s] counts sessions whose restore margin was s holding
+  /// periods. One trial per session (runs * sessions total).
+  RunTally tally;
+
+  std::uint64_t sessions_delivered = 0;
+  /// Sessions whose first delivery landed within kDeliveryToleranceNs of
+  /// tr. The protocol's timing contract (protocol.hpp holding_period())
+  /// promises exact delivery, so this must equal sessions_delivered.
+  std::uint64_t delivered_on_time = 0;
+  /// Largest |first_delivery - tr| seen, in integer nanoseconds of virtual
+  /// time (max is an exact, order-free merge).
+  std::int64_t max_delivery_offset_ns = 0;
+  std::uint64_t churn_deaths = 0;
+
+  // Summed SessionReport counters across all sessions.
+  std::uint64_t packages_sent = 0;
+  std::uint64_t packages_delivered = 0;
+  std::uint64_t packages_dropped_malicious = 0;
+  std::uint64_t malformed_packages = 0;
+  std::uint64_t holders_stuck = 0;
+  std::uint64_t key_assignments = 0;
+  std::uint64_t deliveries = 0;
+
+  void merge(const E2eTally& other);
+  std::size_t trials() const { return tally.runs(); }
+};
+
+/// One gated comparison between the engines.
+struct CrossValMetric {
+  std::string metric;
+  double full_stack = 0.0;   ///< full-stack rate
+  double stat_engine = 0.0;  ///< stat-engine rate
+  double bound = 0.0;        ///< |full_stack - stat_engine| must be <= bound
+  std::size_t fs_trials = 0;
+  std::size_t stat_trials = 0;
+  bool pass = true;
+
+  double diff() const { return full_stack - stat_engine; }
+};
+
+/// Both engines' tallies at one scenario point plus the gated comparisons.
+struct CrossValResult {
+  E2eScenario scenario;
+  E2eTally full_stack;
+  RunTally stat;
+  std::vector<CrossValMetric> metrics;
+
+  bool pass() const;
+};
+
+/// Full-stack Monte-Carlo evaluator. Shares a SweepRunner's worker pool (and
+/// therefore its determinism rules and evaluation mutex).
+class E2eRunner {
+ public:
+  /// Deliveries further than this from tr count as late. The protocol
+  /// schedules terminal delivery at the absolute time tr, so the observed
+  /// offset is exactly zero; one microsecond absorbs only the ns
+  /// quantization of the tally.
+  static constexpr std::int64_t kDeliveryToleranceNs = 1000;
+
+  explicit E2eRunner(SweepRunner& sweeps) : sweeps_(sweeps) {}
+
+  /// Runs scenario.runs independent full-stack worlds (sharded across the
+  /// pool; bit-identical at any thread count) and returns the exact tallies.
+  E2eTally run_tallies(const E2eScenario& scenario);
+
+  /// Stat-engine tallies at the matched parameter point (same population,
+  /// malicious count, geometry, churn ratio).
+  RunTally stat_tallies(const E2eScenario& scenario, std::size_t stat_runs);
+
+  /// Runs both engines and gates the comparable rates within two-sample
+  /// binomial bounds: |p1 - p2| <= z * sqrt(pp*(1-pp)*(1/n1 + 1/n2)) +
+  /// (1/n1 + 1/n2), with pp the pooled rate and the additive term a
+  /// continuity correction so exact-zero rates cannot fail on one stray
+  /// success. z defaults to 4 (two-sided tail ~6e-5 per comparison, safe
+  /// across the whole matrix). For multi-session scenarios the sessions of
+  /// one world share a coalition and a ring, so the bound conservatively
+  /// uses the world count, not runs * sessions, as the full-stack sample
+  /// size.
+  CrossValResult cross_validate(const E2eScenario& scenario,
+                                std::size_t stat_runs, double z = 4.0);
+
+  /// Maps the coalition's earliest secret-possession time to whole holding
+  /// periods before tr (0 = never; l = essentially at ts). The strict
+  /// release event excludes the unavoidable terminal-slot leak (margin 1);
+  /// the stat engine scores the identical event (design-notes §2).
+  static std::size_t restore_margin_periods(double earliest, double release_time,
+                                            double holding_period,
+                                            std::size_t path_length);
+
+ private:
+  SweepRunner& sweeps_;
+};
+
+/// The pinned cross-validation matrix used by bench/e2e_crossval.cpp and
+/// the CI smoke job: all four schemes, both backends, churn on/off,
+/// covert/dropping adversaries, and 1..8 concurrent sessions, at points
+/// where both engines define the same events (see cross_validate).
+std::vector<E2eScenario> default_crossval_matrix(std::size_t runs,
+                                                 std::size_t population = 100);
+
+}  // namespace emergence::core

@@ -76,7 +76,15 @@ TimedReleaseSession::TimedReleaseSession(dht::Network& network,
 
 LayerKeyId TimedReleaseSession::key_id_for(std::uint16_t column,
                                            std::uint16_t holder) const {
-  if (holder < config_.shape.k)
+  // Pre-assigned-key schemes: the k onion slots of a column share K_c
+  // (paper §III-B/C). Share scheme: every holder owns an individual key —
+  // a shared slot key would let a single malicious onion slot (which
+  // reconstructs that key from the n shares addressed to it) open all k
+  // slot envelopes and harvest k shares of every next-column key,
+  // collapsing the per-column Shamir threshold whenever m <= k. The e2e
+  // cross-validation harness flagged exactly that cascade against
+  // Algorithm 1's per-column threshold model.
+  if (config_.kind != SchemeKind::kShare && holder < config_.shape.k)
     return LayerKeyId{column, LayerKeyId::kSharedHolder};
   return LayerKeyId{column, holder};
 }
@@ -110,18 +118,18 @@ cloud::BlobId TimedReleaseSession::send(BytesView message,
   layout_ = build_path_layout(network_, config_.kind, config_.shape, carriers,
                               drbg_);
 
-  // 3. Generate layer keys: one shared onion key per column plus individual
-  // keys for the share scheme's extra carriers.
+  // 3. Generate layer keys: one shared onion key per column for the
+  // pre-assigned schemes, an individual key per holder for the share
+  // scheme (see key_id_for for why sharing would break the threshold).
   const std::size_t l = config_.shape.l;
   for (std::size_t c = 1; c <= l; ++c) {
-    layer_keys_[LayerKeyId{static_cast<std::uint16_t>(c),
-                           LayerKeyId::kSharedHolder}] =
-        crypto::SymmetricKey::from_bytes(drbg_.bytes(32));
     const std::size_t holders = layout_.holders_in_column(c);
-    for (std::size_t h = config_.shape.k; h < holders; ++h) {
-      layer_keys_[LayerKeyId{static_cast<std::uint16_t>(c),
-                             static_cast<std::uint16_t>(h)}] =
-          crypto::SymmetricKey::from_bytes(drbg_.bytes(32));
+    for (std::size_t h = 0; h < holders; ++h) {
+      const LayerKeyId id = key_id_for(static_cast<std::uint16_t>(c),
+                                       static_cast<std::uint16_t>(h));
+      if (layer_keys_.find(id) == layer_keys_.end()) {
+        layer_keys_[id] = crypto::SymmetricKey::from_bytes(drbg_.bytes(32));
+      }
     }
   }
 
@@ -142,14 +150,11 @@ cloud::BlobId TimedReleaseSession::send(BytesView message,
       const std::size_t next_holders = layout_.holders_in_column(c + 1);
       next_key_shares.resize(next_holders);
       for (std::size_t t = 0; t < next_holders; ++t) {
+        // Every share-scheme holder has an individual key (key_id_for), so
+        // every target's key is split independently.
         const LayerKeyId id =
             key_id_for(static_cast<std::uint16_t>(c + 1),
                        static_cast<std::uint16_t>(t));
-        // Onion slots share one key: split it once and reuse for t < k.
-        if (t > 0 && id.holder == LayerKeyId::kSharedHolder) {
-          next_key_shares[t] = next_key_shares[0];
-          continue;
-        }
         next_key_shares[t] = crypto::shamir_split(
             layer_key(id).to_bytes(), config_.threshold_m, holders, drbg_);
       }
@@ -227,13 +232,20 @@ void TimedReleaseSession::assign_keys_at_start() {
       const LayerKeyId id = key_id_for(static_cast<std::uint16_t>(c),
                                        static_cast<std::uint16_t>(h));
       const dht::NodeId& holder = layout_.columns[c - 1][h];
-      // Unique storage key per (session, column, holder).
-      BinaryWriter w;
-      w.str("emergence/layer-key");
-      w.u64(reinterpret_cast<std::uintptr_t>(this));
-      w.u16(static_cast<std::uint16_t>(c));
-      w.u16(static_cast<std::uint16_t>(h));
-      const dht::NodeId storage_key = dht::NodeId::hash_of(w.bytes());
+      // The storage key IS the slot's ring point. Responsibility for the
+      // stored key then migrates under churn exactly like responsibility
+      // for routed packages: replica repair pushes copies along the ring
+      // point's successor chain, so the node that receives the package
+      // after the original holder dies is the same node the repaired key
+      // landed on. (An earlier revision hashed a session-unique tuple
+      // instead, which scattered repairs to nodes unrelated to the slot —
+      // replacements could never reconstruct, inflating drop rates under
+      // churn far beyond the renewal model; the e2e cross-validation sweep
+      // flags exactly this class of divergence.) Ring points are
+      // drbg-derived, so the placement is also reproducible from seeds
+      // alone. Cross-session collisions would need two drbgs to emit the
+      // same 160-bit point.
+      const dht::NodeId storage_key = layout_.ring_points[c - 1][h];
       storage_key_to_layer_[storage_key] = id;
 
       if (!network_.store_on(holder, storage_key, layer_key(id).to_bytes()))
@@ -330,12 +342,8 @@ void TimedReleaseSession::process_holder(std::uint16_t column,
   const bool preassigned =
       config_.kind != SchemeKind::kShare || column == 1;
   if (preassigned) {
-    BinaryWriter w;
-    w.str("emergence/layer-key");
-    w.u64(reinterpret_cast<std::uintptr_t>(this));
-    w.u16(column);
-    w.u16(holder_index);
-    const dht::NodeId storage_key = dht::NodeId::hash_of(w.bytes());
+    // Same derivation as assign_keys_at_start: the slot's ring point.
+    const dht::NodeId storage_key = layout_.ring_points[column - 1][holder_index];
     const auto stored = network_.load_from(holder, storage_key);
     if (!stored.has_value() || stored->size() != 32) {
       ++report_.holders_stuck;  // key lost to churn before use

@@ -74,6 +74,15 @@ class TimedReleaseSession {
 
   double start_time() const { return start_time_; }
   double release_time() const { return start_time_ + config_.emerging_time; }
+  /// th = T / l. Timing contract: hop schedules are anchored to *absolute*
+  /// times — column c forwards at exactly ts + c*th and the terminal column
+  /// delivers at exactly tr — so per-column overheads (assembly_delay plus
+  /// message latency) are absorbed inside each hold instead of accumulating
+  /// into an l*(assembly_delay + latency) drift past tr. The constructor
+  /// precondition th > assembly_delay + 4*max_latency guarantees every
+  /// column finishes processing before its forwarding deadline; under it,
+  /// first_delivery_time() == release_time() exactly (bit-equal doubles;
+  /// regression-tested for l in {1, 3, 6} in tests/test_protocol.cpp).
   double holding_period() const {
     return config_.emerging_time / static_cast<double>(config_.shape.l);
   }
@@ -137,8 +146,10 @@ class TimedReleaseSession {
 
   PathLayout layout_;
   std::map<LayerKeyId, crypto::SymmetricKey> layer_keys_;
-  /// DHT storage key used for a pre-assigned layer key on a holder, so the
-  /// store-observer can map replica repairs back to layer-key exposure.
+  /// Maps a pre-assigned layer key's DHT storage key — the holder slot's
+  /// ring point (see assign_keys_at_start) — back to its layer-key id, so
+  /// the store-observer can count replica repairs and join pulls of stored
+  /// keys as exposure.
   std::map<dht::NodeId, LayerKeyId> storage_key_to_layer_;
 
   Bytes secret_key_;  ///< the message key routed through the DHT

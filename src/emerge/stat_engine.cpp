@@ -214,12 +214,22 @@ StatRunOutcome run_share_stat(const SharePlan& plan,
   // Columns 1..l-1 have n holders (k onion slots + n-k share carriers);
   // column l has only the k onion slots (Fig. 5: no extra holder in the
   // terminal column).
+  //
+  // Release semantics (cross-validated against the full protocol stack by
+  // emerge/e2e_runner.*): reconstructing the keys of *one* column
+  // compromises every later column. Each column-c envelope carries that
+  // holder's share of every column-(c+1) key, so m malicious carriers in a
+  // column the packages reached open their own envelopes, combine m shares
+  // per next-column key, and unravel the rest of the captured onion to the
+  // terminal payload — the attack engine's fixpoint cascade in
+  // adversary.cpp, and the same any-column accumulation Algorithm 1's
+  // analytic pr uses. The earliest such column decides how many holding
+  // periods before tr the coalition first holds the secret.
   StatRunOutcome out;
   bool release_flow = true;  // shares still flowing (covert attack)
   bool drop_flow = true;     // protocol alive under dropping attack
-  std::vector<bool> captured(l, false);
+  std::size_t restore_margin = 0;  // holding periods before tr; 0 = never
 
-  std::size_t prev_malicious = 0;   // malicious carriers in column col-1
   std::size_t prev_alive = 0;       // carriers surviving their hold
   std::size_t prev_functional = 0;  // honest & alive & keyed carriers
 
@@ -228,18 +238,14 @@ StatRunOutcome run_share_stat(const SharePlan& plan,
 
     // Key availability at this column: who can reconstruct the column key
     // from the shares carried by column col-1?
-    bool col_captured;       // adversary reconstructs this column's onion key
     bool col_recon_release;  // honest holders reconstruct (covert attack)
     bool col_recon_drop;     // honest holders reconstruct (dropping attack)
     if (col == 1) {
-      // Keys are delivered directly by the sender at ts; capture is decided
-      // by the onion slots below.
+      // Keys are delivered directly by the sender at ts.
       col_recon_release = true;
       col_recon_drop = true;
-      col_captured = false;
     } else {
       const std::size_t m = plan.alg1.threshold_for_column(col);
-      col_captured = release_flow && prev_malicious >= m;
       col_recon_release = release_flow && prev_alive >= m;
       col_recon_drop = drop_flow && prev_functional >= m;
     }
@@ -259,12 +265,23 @@ StatRunOutcome run_share_stat(const SharePlan& plan,
       }
     }
 
-    if (col == 1) col_captured = onion_malicious >= 1;
-    captured[col - 1] = col_captured;
-
     // Flow updates affecting the *next* column.
     release_flow = release_flow && col_recon_release;
     drop_flow = drop_flow && col_recon_drop;
+
+    // Cascade: m_{col+1} malicious carriers in a reached column reconstruct
+    // the next column's keys and the whole remaining onion at
+    // package-arrival time ts + (col-1)*th = l - col + 1 periods before tr.
+    if (restore_margin == 0 && release_flow && col < l &&
+        malicious >= plan.alg1.threshold_for_column(col + 1)) {
+      restore_margin = l - col + 1;
+    }
+    // A malicious terminal onion slot sees the payload one period early
+    // (the unavoidable leak the strict Rr metric excludes; design-notes §2).
+    if (restore_margin == 0 && col == l && release_flow &&
+        onion_malicious >= 1) {
+      restore_margin = 1;
+    }
 
     if (col == l) {
       // Receiver needs at least one functional terminal onion slot.
@@ -272,20 +289,14 @@ StatRunOutcome run_share_stat(const SharePlan& plan,
       out.drop_success = !delivered;
     }
 
-    prev_malicious = malicious;
     prev_alive = alive_cnt;
     prev_functional = functional;
   }
 
-  out.release_success =
-      std::all_of(captured.begin(), captured.end(), [](bool b) { return b; });
-  std::size_t suffix = 0;
-  for (std::size_t col = l; col >= 1; --col) {
-    if (!captured[col - 1]) break;
-    ++suffix;
-    if (col == 1) break;
-  }
-  out.compromised_suffix = suffix;
+  // Strict Rr: the pure terminal-slot leak (margin 1 with no cascade) does
+  // not count as a successful release-ahead attack.
+  out.release_success = restore_margin >= 2;
+  out.compromised_suffix = restore_margin;
   return out;
 }
 

@@ -10,8 +10,10 @@
 // Semantics (docs/design-notes.md §2/§5):
 //  * release-ahead success: the adversary collects every column's layer key
 //    within its storage window (pre-assigned-key schemes) or gathers m of n
-//    Shamir shares per column (share scheme). Malicious holders behave
-//    covertly in this evaluation (they forward normally).
+//    Shamir shares for *some* column — one reconstructed column key unlocks
+//    every later column of the captured onion, the cascade the attack
+//    engine (adversary.cpp) mounts with real crypto. Malicious holders
+//    behave covertly in this evaluation (they forward normally).
 //  * drop success: the receiver fails to obtain the secret key at tr while
 //    malicious holders refuse to forward; churn losses count against
 //    availability as well.
@@ -40,9 +42,13 @@ struct StatEnvironment {
 struct StatRunOutcome {
   bool release_success = false;  ///< adversary restores the key early
   bool drop_success = false;     ///< key does not emerge at tr
-  /// Length of the longest fully-compromised column suffix; the ablation
-  /// bench uses it for the "restore x holding periods early" semantics
-  /// (a malicious terminal holder alone gives suffix >= 1).
+  /// Restore margin in holding periods: the coalition first holds the
+  /// secret compromised_suffix * th before tr (0 = never). For the
+  /// pre-assigned-key schemes this equals the length of the longest
+  /// fully-compromised column suffix; for the share scheme it is decided by
+  /// the earliest column whose threshold the coalition reaches (cascade).
+  /// The ablation bench uses it for the "restore x holding periods early"
+  /// semantics (a malicious terminal holder alone gives suffix >= 1).
   std::size_t compromised_suffix = 0;
 };
 

@@ -183,28 +183,17 @@ SweepRunner& SweepRunner::shared() {
   return runner;
 }
 
-RunTally SweepRunner::run_tallies(SchemeKind kind, const PathShape& shape,
-                                  const std::optional<SharePlan>& share_plan,
-                                  const EvalPoint& point) {
-  require((kind == SchemeKind::kShare) == share_plan.has_value(),
-          "SweepRunner::run_tallies: share_plan iff share scheme");
+void SweepRunner::run_shards(
+    std::size_t shard_count,
+    const std::function<void(std::size_t shard)>& shard_fn) {
   std::lock_guard<std::mutex> lock(evaluate_mutex_);
 
-  const StatEnvironment env = make_environment(point);
-  const Rng master(point.seed);
-  const std::size_t shard_size = std::max<std::size_t>(1, options_.shard_size);
-  const std::size_t shard_count = (point.runs + shard_size - 1) / shard_size;
-
-  // The decomposition into shards depends on (runs, shard_size) only; the
-  // thread count decides which worker claims which shard, never the shard
-  // boundaries or the per-run streams.
-  std::vector<RunTally> tallies(shard_count);
   std::atomic<std::size_t> next_shard{0};
-  // A stat run can throw (e.g. PreconditionError on a degenerate shape or an
-  // exhausted sampler). The task itself must never leak the exception — out
-  // of a worker it would std::terminate, out of the calling thread it would
-  // unwind this frame while workers still use it — so the first one is
-  // captured, the remaining shards are abandoned, and it rethrows below
+  // A shard job can throw (e.g. PreconditionError on a degenerate shape or
+  // an exhausted sampler). The task itself must never leak the exception —
+  // out of a worker it would std::terminate, out of the calling thread it
+  // would unwind this frame while workers still use it — so the first one
+  // is captured, the remaining shards are abandoned, and it rethrows below
   // after every participant has stopped.
   std::atomic<bool> failed{false};
   std::exception_ptr error;
@@ -215,14 +204,7 @@ RunTally SweepRunner::run_tallies(SchemeKind kind, const PathShape& shape,
       const std::size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
       if (s >= shard_count) return;
       try {
-        RunTally tally;
-        const std::size_t begin = s * shard_size;
-        const std::size_t end = std::min(point.runs, begin + shard_size);
-        for (std::size_t run = begin; run < end; ++run) {
-          Rng rng = master.fork(run);
-          tally.add(dispatch_run(kind, shape, share_plan, env, rng));
-        }
-        tallies[s] = tally;
+        shard_fn(s);
       } catch (...) {
         const std::lock_guard<std::mutex> error_lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -237,6 +219,33 @@ RunTally SweepRunner::run_tallies(SchemeKind kind, const PathShape& shape,
     work();
   }
   if (error) std::rethrow_exception(error);
+}
+
+RunTally SweepRunner::run_tallies(SchemeKind kind, const PathShape& shape,
+                                  const std::optional<SharePlan>& share_plan,
+                                  const EvalPoint& point) {
+  require((kind == SchemeKind::kShare) == share_plan.has_value(),
+          "SweepRunner::run_tallies: share_plan iff share scheme");
+
+  const StatEnvironment env = make_environment(point);
+  const Rng master(point.seed);
+  const std::size_t shard_size = std::max<std::size_t>(1, options_.shard_size);
+  const std::size_t shard_count = (point.runs + shard_size - 1) / shard_size;
+
+  // The decomposition into shards depends on (runs, shard_size) only; the
+  // thread count decides which worker claims which shard, never the shard
+  // boundaries or the per-run streams.
+  std::vector<RunTally> tallies(shard_count);
+  run_shards(shard_count, [&](std::size_t s) {
+    RunTally tally;
+    const std::size_t begin = s * shard_size;
+    const std::size_t end = std::min(point.runs, begin + shard_size);
+    for (std::size_t run = begin; run < end; ++run) {
+      Rng rng = master.fork(run);
+      tally.add(dispatch_run(kind, shape, share_plan, env, rng));
+    }
+    tallies[s] = tally;
+  });
 
   // Merge rule: ascending shard index. With today's all-integer tallies any
   // order is exact; the fixed order keeps determinism if a floating-point

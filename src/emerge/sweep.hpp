@@ -34,6 +34,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -108,6 +109,20 @@ class SweepRunner {
   RunTally run_tallies(SchemeKind kind, const PathShape& shape,
                        const std::optional<SharePlan>& share_plan,
                        const EvalPoint& point);
+
+  /// Generic shard fan-out: executes `shard_fn(shard)` for every index in
+  /// [0, shard_count) across the pool workers and the calling thread. The
+  /// claim order depends on the thread count but the decomposition must
+  /// not: callers give each shard a self-contained, index-seeded job and
+  /// merge per-shard results in ascending index order afterwards — the two
+  /// rules that make any client of this method bit-identical at any thread
+  /// count. The first exception a shard throws abandons the remaining
+  /// shards and is rethrown here once every participant has stopped.
+  /// Serializes with other evaluations on this runner. Reused by the
+  /// end-to-end runner (e2e_runner.hpp) so full-stack protocol sweeps
+  /// inherit the same determinism guarantees as the stat-engine sweeps.
+  void run_shards(std::size_t shard_count,
+                  const std::function<void(std::size_t shard)>& shard_fn);
 
   /// Process-wide runner with auto-sized thread pool; what the
   /// evaluate_point / evaluate_fixed_shape free functions use.

@@ -21,21 +21,25 @@ void Simulator::cancel(EventId id) {
   if (live_.erase(id) > 0) cancelled_.insert(id);
 }
 
-bool Simulator::fire_next() {
+bool Simulator::skip_cancelled_head() {
   while (!queue_.empty()) {
-    Entry e = queue_.top();
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return true;
+    cancelled_.erase(it);
     queue_.pop();
-    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    live_.erase(e.id);
-    now_ = e.at;
-    ++executed_;
-    e.action();
-    return true;
   }
   return false;
+}
+
+bool Simulator::fire_next() {
+  if (!skip_cancelled_head()) return false;
+  Entry e = queue_.top();
+  queue_.pop();
+  live_.erase(e.id);
+  now_ = e.at;
+  ++executed_;
+  e.action();
+  return true;
 }
 
 void Simulator::run() {
@@ -45,16 +49,7 @@ void Simulator::run() {
 
 void Simulator::run_until(Time deadline) {
   require(deadline >= now_, "Simulator::run_until: deadline in the past");
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.at > deadline) break;
-    fire_next();
-  }
+  while (skip_cancelled_head() && queue_.top().at <= deadline) fire_next();
   now_ = deadline;
 }
 

@@ -59,6 +59,10 @@ class Simulator {
     }
   };
 
+  /// Pops cancelled entries off the queue head, consuming their tombstones.
+  /// Returns true when a live entry remains at the top (the single purge
+  /// path shared by fire_next() and run_until()).
+  bool skip_cancelled_head();
   bool fire_next();
 
   Time now_ = 0.0;

@@ -320,6 +320,113 @@ TEST(ChordStorage, PutReplicatesToSuccessors) {
   EXPECT_EQ(copies, t.config.replication_factor);
 }
 
+TEST(ChordStorage, GetFindsReplicasAfterResponsibilityMigrates) {
+  // Regression (ISSUE 3 satellite): put -> kill the primary -> three fresh
+  // nodes join between the dead primary's ring position and the surviving
+  // replicas. After stabilization the joiners are the first live successors
+  // of the key but hold no copy (their join pull ranges exclude it), and
+  // the old get() walk of exactly replication_factor nodes ended on them —
+  // reporting a miss while both replicas were alive and reachable.
+  TestNet t(32);
+  const NodeId key = NodeId::hash_of_text("migrating-key");
+  ASSERT_TRUE(t.net->put(key, bytes_of("survivor")));
+
+  const LookupResult primary = t.net->lookup(key);
+  ASSERT_TRUE(primary.ok);
+  const NodeId s1 = t.net->node(primary.node)->successor();
+  t.net->kill_node(primary.node);
+
+  // Squeeze three empty nodes into (primary, s1), each strictly after the
+  // previous, so no join pull range wraps around to cover the key.
+  NodeId lower = primary.node;
+  int joined = 0;
+  for (int probe = 0; joined < 3 && probe < 200000; ++probe) {
+    const NodeId candidate =
+        NodeId::hash_of_text("interloper-" + std::to_string(probe));
+    if (!in_open_interval(candidate, lower, s1)) continue;
+    t.net->add_node_with_id(candidate);
+    lower = candidate;
+    ++joined;
+  }
+  ASSERT_EQ(joined, 3);
+
+  // Converge ring pointers WITHOUT replica repair (repair would recopy the
+  // value onto the joiners and mask the walk bug).
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<NodeId> ids = t.net->alive_ids();
+    for (const NodeId& id : ids) {
+      ChordNode* n = t.net->live_node(id);
+      if (n == nullptr) continue;
+      n->stabilize();
+      n->check_predecessor();
+    }
+  }
+  for (const NodeId& id : t.net->alive_ids()) {
+    ChordNode* n = t.net->live_node(id);
+    if (n != nullptr) n->fix_all_fingers();
+  }
+
+  // The responsible node is now an empty interloper...
+  const LookupResult migrated = t.net->lookup(key);
+  ASSERT_TRUE(migrated.ok);
+  EXPECT_NE(migrated.node, primary.node);
+  EXPECT_FALSE(t.net->node(migrated.node)->storage().contains(key));
+  // ...while the original replicas survive downstream.
+  std::size_t copies = 0;
+  for (const NodeId& id : t.net->alive_ids())
+    copies += t.net->node(id)->storage().contains(key) ? 1 : 0;
+  ASSERT_GE(copies, 2u);
+
+  const auto value = t.net->get(key);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, bytes_of("survivor"));
+}
+
+TEST(ChordStorage, GetRoutesPastAnExhaustedSuccessorList) {
+  // Corner of the same walk: a fresh joiner J becomes responsible for the
+  // key, but its only successor-list entry (the first replica holder) dies
+  // before J re-stabilizes, so J's successor() degenerates to J itself.
+  // The walk must route one step past J instead of giving up while the
+  // second replica is alive one hop further down the ring.
+  TestNet t(32);
+  const NodeId key = NodeId::hash_of_text("exhausted-list-key");
+  ASSERT_TRUE(t.net->put(key, bytes_of("still-here")));
+
+  const LookupResult primary = t.net->lookup(key);
+  ASSERT_TRUE(primary.ok);
+  ChordNode* p = t.net->node(primary.node);
+  const NodeId s1 = p->successor();
+  const NodeId x = *p->predecessor();
+  t.net->kill_node(primary.node);
+
+  // J joins in (primary, s1): its successor list is exactly [s1].
+  NodeId j{};
+  bool joined = false;
+  for (int probe = 0; !joined && probe < 200000; ++probe) {
+    const NodeId candidate =
+        NodeId::hash_of_text("lonely-" + std::to_string(probe));
+    if (!in_open_interval(candidate, primary.node, s1)) continue;
+    j = t.net->add_node_with_id(candidate);
+    joined = true;
+  }
+  ASSERT_TRUE(joined);
+
+  // The key's live predecessor adopts J (one stabilize round), then J's
+  // only successor dies before J ever stabilizes.
+  t.net->live_node(x)->stabilize();
+  t.net->kill_node(s1);
+
+  const LookupResult migrated = t.net->lookup(key);
+  ASSERT_TRUE(migrated.ok);
+  ASSERT_EQ(migrated.node, j);
+  EXPECT_FALSE(t.net->node(j)->storage().contains(key));
+  EXPECT_EQ(t.net->node(j)->successor(), j);  // list exhausted
+
+  const auto value = t.net->get(key);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, bytes_of("still-here"));
+}
+
 TEST(ChordStorage, StoreObserverFires) {
   TestNet t(8);
   std::size_t observed = 0;

@@ -1,0 +1,226 @@
+// Tests for the end-to-end scenario sweep harness: thread-count invariance
+// of the full-stack tallies, cross-validation gates at smoke scale, and the
+// regression coverage for the divergences the harness flagged (share-scheme
+// release cascade, stored-key replication placement, delivery timing).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "emerge/e2e_runner.hpp"
+
+namespace emergence::core {
+namespace {
+
+E2eScenario smoke_scenario() {
+  E2eScenario s;
+  s.name = "smoke";
+  s.kind = SchemeKind::kJoint;
+  s.shape = PathShape{2, 3};
+  s.population = 48;
+  s.p = 0.3;
+  s.runs = 24;
+  s.seed = 0x5E2E;
+  return s;
+}
+
+void expect_tallies_identical(const E2eTally& a, const E2eTally& b) {
+  EXPECT_EQ(a.tally.release.trials(), b.tally.release.trials());
+  EXPECT_EQ(a.tally.release.successes(), b.tally.release.successes());
+  EXPECT_EQ(a.tally.drop.successes(), b.tally.drop.successes());
+  EXPECT_EQ(a.tally.suffix_histogram, b.tally.suffix_histogram);
+  EXPECT_EQ(a.sessions_delivered, b.sessions_delivered);
+  EXPECT_EQ(a.delivered_on_time, b.delivered_on_time);
+  EXPECT_EQ(a.max_delivery_offset_ns, b.max_delivery_offset_ns);
+  EXPECT_EQ(a.churn_deaths, b.churn_deaths);
+  EXPECT_EQ(a.packages_sent, b.packages_sent);
+  EXPECT_EQ(a.packages_delivered, b.packages_delivered);
+  EXPECT_EQ(a.packages_dropped_malicious, b.packages_dropped_malicious);
+  EXPECT_EQ(a.malformed_packages, b.malformed_packages);
+  EXPECT_EQ(a.holders_stuck, b.holders_stuck);
+  EXPECT_EQ(a.key_assignments, b.key_assignments);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+}
+
+TEST(E2eRunner, TalliesBitIdenticalAt1And2And8Threads) {
+  // The acceptance bar of the harness: a scenario's result is a pure
+  // function of the scenario, never of the thread count.
+  E2eScenario scenario = smoke_scenario();
+  scenario.sessions = 2;  // exercise the multi-session path too
+
+  SweepRunner one(SweepOptions{1, 64});
+  SweepRunner two(SweepOptions{2, 64});
+  SweepRunner eight(SweepOptions{8, 64});
+  const E2eTally t1 = E2eRunner(one).run_tallies(scenario);
+  const E2eTally t2 = E2eRunner(two).run_tallies(scenario);
+  const E2eTally t8 = E2eRunner(eight).run_tallies(scenario);
+
+  EXPECT_EQ(t1.trials(), scenario.runs * scenario.sessions);
+  expect_tallies_identical(t1, t2);
+  expect_tallies_identical(t1, t8);
+}
+
+TEST(E2eRunner, ChurnTalliesBitIdenticalAcrossThreads) {
+  // Churn worlds replay maintenance, repair and replacement joins from the
+  // run seed alone; address-dependent state anywhere would break this.
+  E2eScenario scenario = smoke_scenario();
+  scenario.churn = true;
+  scenario.churn_alpha = 1.0;
+  scenario.runs = 10;
+
+  SweepRunner one(SweepOptions{1, 64});
+  SweepRunner eight(SweepOptions{8, 64});
+  const E2eTally t1 = E2eRunner(one).run_tallies(scenario);
+  const E2eTally t8 = E2eRunner(eight).run_tallies(scenario);
+  EXPECT_GT(t1.churn_deaths, 0u);
+  expect_tallies_identical(t1, t8);
+}
+
+TEST(E2eRunner, RepeatedEvaluationIsDeterministic) {
+  SweepRunner sweeps(SweepOptions{0, 64});
+  E2eRunner runner(sweeps);
+  const E2eTally a = runner.run_tallies(smoke_scenario());
+  const E2eTally b = runner.run_tallies(smoke_scenario());
+  expect_tallies_identical(a, b);
+}
+
+// -- cross-validation gates at smoke scale ------------------------------------
+
+TEST(E2eCrossVal, CovertJointReleaseMatchesStatEngine) {
+  SweepRunner sweeps(SweepOptions{0, 64});
+  E2eRunner runner(sweeps);
+  E2eScenario scenario = smoke_scenario();
+  scenario.runs = 80;
+  const CrossValResult result = runner.cross_validate(scenario, 4000);
+
+  ASSERT_FALSE(result.metrics.empty());
+  for (const CrossValMetric& m : result.metrics) {
+    EXPECT_TRUE(m.pass) << m.metric << " fs=" << m.full_stack
+                        << " stat=" << m.stat_engine << " bound=" << m.bound;
+  }
+  // Covert, no churn: every session delivers, exactly at tr.
+  EXPECT_EQ(result.full_stack.sessions_delivered, result.full_stack.trials());
+  EXPECT_EQ(result.full_stack.delivered_on_time,
+            result.full_stack.sessions_delivered);
+  EXPECT_EQ(result.full_stack.max_delivery_offset_ns, 0);
+}
+
+TEST(E2eCrossVal, ShareSchemeCascadeReleaseMatchesStatEngine) {
+  // Regression for the divergence this harness flagged: the stat engine
+  // used to require the coalition to reach the Shamir threshold in *every*
+  // column, while the attack engine's fixpoint cascades from any one
+  // column. Both engines now score the any-column event.
+  SweepRunner sweeps(SweepOptions{0, 64});
+  E2eRunner runner(sweeps);
+  E2eScenario scenario = smoke_scenario();
+  scenario.kind = SchemeKind::kShare;
+  scenario.carriers_n = 4;
+  scenario.threshold_m = 2;
+  scenario.runs = 80;
+  const CrossValResult result = runner.cross_validate(scenario, 4000);
+
+  for (const CrossValMetric& m : result.metrics) {
+    EXPECT_TRUE(m.pass) << m.metric << " fs=" << m.full_stack
+                        << " stat=" << m.stat_engine << " bound=" << m.bound;
+  }
+  // The cascade event is frequent at p = 0.3 (any column with >= 2 of 4
+  // malicious carriers); the old all-columns semantics put the stat rate
+  // several bounds below the full stack.
+  EXPECT_GT(result.stat.release.rate(), 0.3);
+}
+
+TEST(E2eCrossVal, DroppingAdversaryDropRateMatchesStatEngine) {
+  SweepRunner sweeps(SweepOptions{0, 64});
+  E2eRunner runner(sweeps);
+  E2eScenario scenario = smoke_scenario();
+  scenario.attack_mode = AttackMode::kDropping;
+  scenario.runs = 80;
+  const CrossValResult result = runner.cross_validate(scenario, 4000);
+  for (const CrossValMetric& m : result.metrics) {
+    EXPECT_TRUE(m.pass) << m.metric << " fs=" << m.full_stack
+                        << " stat=" << m.stat_engine << " bound=" << m.bound;
+  }
+}
+
+TEST(E2eCrossVal, ChurnAvailabilityMatchesRenewalModel) {
+  // Regression for the replication divergence this harness flagged: stored
+  // layer keys used to live under a hashed storage key unrelated to the
+  // holder's ring point, so replica repair pushed copies to the wrong
+  // nodes and churn replacements could never reconstruct — drop rates sat
+  // far above the stat engine's renewal model.
+  SweepRunner sweeps(SweepOptions{0, 64});
+  E2eRunner runner(sweeps);
+  E2eScenario scenario = smoke_scenario();
+  scenario.p = 0.0;
+  scenario.churn = true;
+  scenario.churn_alpha = 1.0;
+  scenario.runs = 60;
+  const CrossValResult result = runner.cross_validate(scenario, 4000);
+  for (const CrossValMetric& m : result.metrics) {
+    EXPECT_TRUE(m.pass) << m.metric << " fs=" << m.full_stack
+                        << " stat=" << m.stat_engine << " bound=" << m.bound;
+  }
+  EXPECT_GT(result.full_stack.churn_deaths, 0u);
+}
+
+TEST(E2eCrossVal, KademliaBackendPasses) {
+  SweepRunner sweeps(SweepOptions{0, 64});
+  E2eRunner runner(sweeps);
+  E2eScenario scenario = smoke_scenario();
+  scenario.backend = DhtBackend::kKademlia;
+  scenario.runs = 60;
+  const CrossValResult result = runner.cross_validate(scenario, 4000);
+  for (const CrossValMetric& m : result.metrics) {
+    EXPECT_TRUE(m.pass) << m.metric << " fs=" << m.full_stack
+                        << " stat=" << m.stat_engine << " bound=" << m.bound;
+  }
+}
+
+// -- plumbing -----------------------------------------------------------------
+
+TEST(E2eRunner, RestoreMarginPeriods) {
+  // tr = 300, th = 100, l = 3.
+  EXPECT_EQ(E2eRunner::restore_margin_periods(0.5, 300.0, 100.0, 3), 3u);
+  EXPECT_EQ(E2eRunner::restore_margin_periods(100.5, 300.0, 100.0, 3), 2u);
+  EXPECT_EQ(E2eRunner::restore_margin_periods(201.1, 300.0, 100.0, 3), 1u);
+  EXPECT_EQ(E2eRunner::restore_margin_periods(299.9, 300.0, 100.0, 3), 0u);
+  // Clamped to the path length even for possession at (or fractionally
+  // before) ts.
+  EXPECT_EQ(E2eRunner::restore_margin_periods(-20.0, 300.0, 100.0, 3), 3u);
+}
+
+TEST(E2eRunner, RejectsDegenerateScenarios) {
+  SweepRunner sweeps(SweepOptions{1, 64});
+  E2eRunner runner(sweeps);
+  E2eScenario bad = smoke_scenario();
+  bad.runs = 0;
+  EXPECT_THROW(runner.run_tallies(bad), PreconditionError);
+  E2eScenario bad_p = smoke_scenario();
+  bad_p.p = 1.5;
+  EXPECT_THROW(runner.run_tallies(bad_p), PreconditionError);
+  E2eScenario bad_share = smoke_scenario();
+  bad_share.kind = SchemeKind::kShare;
+  bad_share.carriers_n = 3;
+  bad_share.threshold_m = 5;
+  EXPECT_THROW(runner.run_tallies(bad_share), PreconditionError);
+}
+
+TEST(E2eRunner, DefaultMatrixCoversTheAdvertisedAxes) {
+  const std::vector<E2eScenario> matrix = default_crossval_matrix(10);
+  bool schemes[4] = {false, false, false, false};
+  bool kademlia = false, churn = false, dropping = false, multi = false;
+  for (const E2eScenario& s : matrix) {
+    schemes[static_cast<std::size_t>(s.kind)] = true;
+    kademlia = kademlia || s.backend == DhtBackend::kKademlia;
+    churn = churn || s.churn;
+    dropping = dropping || s.attack_mode == AttackMode::kDropping;
+    multi = multi || s.sessions > 1;
+    EXPECT_EQ(s.runs, 10u);
+  }
+  for (bool scheme : schemes) EXPECT_TRUE(scheme);
+  EXPECT_TRUE(kademlia);
+  EXPECT_TRUE(churn);
+  EXPECT_TRUE(dropping);
+  EXPECT_TRUE(multi);
+}
+
+}  // namespace
+}  // namespace emergence::core

