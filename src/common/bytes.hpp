@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -17,6 +18,19 @@ using Bytes = std::vector<std::uint8_t>;
 
 /// Non-owning read-only view over bytes.
 using BytesView = std::span<const std::uint8_t>;
+
+/// Immutable shared byte buffer: the zero-copy currency of the DHT layer.
+/// A payload is allocated once at its producer and then travels through
+/// send/store/replicate by reference count; replicas on many nodes and
+/// messages in flight all alias one allocation. Dropping a node only drops
+/// references, so views handed out earlier stay valid for their holders.
+using SharedBytes = std::shared_ptr<const Bytes>;
+
+/// Moves an owning buffer into a SharedBytes (the single copy/allocation a
+/// payload pays on its way into the zero-copy paths).
+inline SharedBytes shared_bytes(Bytes&& data) {
+  return std::make_shared<const Bytes>(std::move(data));
+}
 
 /// Builds a buffer from a string literal / std::string (no encoding applied).
 Bytes bytes_of(std::string_view text);

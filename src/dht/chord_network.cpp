@@ -5,6 +5,32 @@
 #include "common/error.hpp"
 
 namespace emergence::dht {
+namespace {
+
+/// floor(log2((to - from) mod 2^160)); requires to != from. Used by the
+/// bootstrap finger construction: a finger at clockwise distance d serves
+/// every power p with 2^p <= d, i.e. p <= floor_log2_distance.
+std::size_t floor_log2_distance(const NodeId& from, const NodeId& to) {
+  const auto& a = from.bytes();
+  const auto& b = to.bytes();
+  // d = b - a, big-endian with borrow (mod 2^160).
+  std::array<std::uint8_t, kIdBytes> d{};
+  int borrow = 0;
+  for (std::size_t i = kIdBytes; i-- > 0;) {
+    const int diff = static_cast<int>(b[i]) - static_cast<int>(a[i]) - borrow;
+    d[i] = static_cast<std::uint8_t>(diff & 0xff);
+    borrow = diff < 0 ? 1 : 0;
+  }
+  for (std::size_t i = 0; i < kIdBytes; ++i) {
+    if (d[i] == 0) continue;
+    int bit = 7;
+    while (((d[i] >> bit) & 1) == 0) --bit;
+    return (kIdBytes - 1 - i) * 8 + static_cast<std::size_t>(bit);
+  }
+  throw PreconditionError("floor_log2_distance: identical ids");
+}
+
+}  // namespace
 
 ChordNetwork::ChordNetwork(sim::Simulator& simulator, Rng& rng,
                            NetworkConfig config)
@@ -20,14 +46,31 @@ NodeId ChordNetwork::fresh_node_id() {
   }
 }
 
+ChordNode& ChordNetwork::allocate_node(const NodeId& id) {
+  // A rejoin of a dead id (transient churn outage) reuses its arena slot:
+  // reset_for_rejoin restores the freshly-constructed state, so long
+  // churned worlds do not accrete one dead instance per rejoin.
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    it->second->reset_for_rejoin();
+    return *it->second;
+  }
+  arena_.emplace_back(*this, id, config_.successor_list_size);
+  ChordNode& fresh = arena_.back();
+  nodes_[id] = &fresh;
+  return fresh;
+}
+
 void ChordNetwork::register_alive(const NodeId& id) {
   alive_index_[id] = alive_ids_.size();
   alive_ids_.push_back(id);
+  live_ring_.insert(id);
 }
 
 void ChordNetwork::unregister_alive(const NodeId& id) {
   auto it = alive_index_.find(id);
   if (it == alive_index_.end()) return;
+  live_ring_.erase(id);  // before the swap-pop: `id` may alias alive_ids_
   const std::size_t pos = it->second;
   const NodeId last = alive_ids_.back();
   alive_ids_[pos] = last;
@@ -40,13 +83,16 @@ void ChordNetwork::bootstrap(std::size_t count) {
   require(count > 0, "ChordNetwork::bootstrap: need at least one node");
   require(nodes_.empty(), "ChordNetwork::bootstrap: network already built");
 
+  nodes_.reserve(count);
+  alive_index_.reserve(count);
+  alive_ids_.reserve(count);
+
   std::vector<NodeId> ids;
   ids.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const NodeId id = fresh_node_id();
     ids.push_back(id);
-    nodes_.emplace(id, std::make_unique<ChordNode>(
-                           *this, id, config_.successor_list_size));
+    allocate_node(id);
     register_alive(id);
   }
   std::sort(ids.begin(), ids.end());
@@ -55,6 +101,7 @@ void ChordNetwork::bootstrap(std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
     ChordNode& n = *nodes_.at(ids[i]);
     std::vector<NodeId> succ;
+    succ.reserve(std::min(config_.successor_list_size, count - 1));
     for (std::size_t s = 1; s <= config_.successor_list_size && s < count; ++s)
       succ.push_back(ids[(i + s) % count]);
     if (succ.empty()) succ.push_back(ids[i]);
@@ -62,15 +109,47 @@ void ChordNetwork::bootstrap(std::size_t count) {
     n.set_predecessor(ids[(i + count - 1) % count]);
   }
 
-  // Exact fingers via binary search over the sorted id list: the finger for
-  // start = id + 2^p is the first node id >= start (circularly).
+  // Exact fingers, built as runs. The finger for start = id + 2^p is the
+  // node minimizing clockwise distance-from-start, equivalently the first
+  // node at clockwise distance >= 2^p from id (self when no other node is
+  // that far — matching a plain sorted lower_bound with wrap-around, which
+  // is what a per-power construction computed here before). Distances
+  // grow monotonically along the ring, so each node needs one monotone
+  // sweep of ~log2(n) binary searches instead of kIdBits of them, and each
+  // discovered finger covers the whole power range up to
+  // floor(log2(distance)) in a single run.
   for (std::size_t i = 0; i < count; ++i) {
-    ChordNode& n = *nodes_.at(ids[i]);
-    for (std::size_t p = 0; p < kIdBits; ++p) {
-      const NodeId start = ids[i].add_power_of_two(p);
-      auto it = std::lower_bound(ids.begin(), ids.end(), start);
-      const NodeId finger = (it == ids.end()) ? ids.front() : *it;
-      n.set_finger(p, finger);
+    const NodeId& x = ids[i];
+    FingerTable& table = nodes_.at(x)->finger_table();
+    table.clear();
+    std::size_t p = 0;
+    std::size_t t_lo = 1;  // ring offset of the first candidate
+    while (p < kIdBits) {
+      const NodeId start = x.add_power_of_two(p);
+      // Smallest ring offset t in [t_lo, count] whose node sits at
+      // clockwise distance >= 2^p (offset `count` stands for self, which
+      // always qualifies); y qualifies iff it is NOT strictly inside
+      // (x, start), and the predicate is monotone in t.
+      std::size_t lo = t_lo;
+      std::size_t hi = count;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        const NodeId& y = ids[(i + mid) % count];
+        if (!in_open_interval(y, x, start)) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      std::size_t hi_power = kIdBits - 1;
+      NodeId finger = x;
+      if (lo < count) {
+        finger = ids[(i + lo) % count];
+        hi_power = floor_log2_distance(x, finger);
+      }
+      table.append_run(p, hi_power, finger);
+      p = hi_power + 1;
+      t_lo = lo;
     }
   }
 
@@ -80,34 +159,48 @@ void ChordNetwork::bootstrap(std::size_t count) {
 }
 
 void ChordNetwork::schedule_maintenance(const NodeId& id) {
-  // Jitter the phase so maintenance does not run in lockstep.
-  const double phase = rng_.real() * config_.stabilize_interval;
-  simulator_.schedule_in(phase, [this, id]() {
+  // Jitter the initial phases so maintenance does not run in lockstep; each
+  // timer then re-arms at its own fixed interval. (An earlier revision
+  // re-armed repair from the stabilize callback, so repair fired at
+  // stabilize_interval cadence with a fresh random phase every round —
+  // ~4x the configured rate under the default intervals.)
+  schedule_stabilize_in(rng_.real() * config_.stabilize_interval, id);
+  schedule_repair_in(rng_.real() * config_.replica_repair_interval, id);
+}
+
+void ChordNetwork::schedule_stabilize_in(double delay, const NodeId& id) {
+  // Capture the node's incarnation: a timer whose node died stops, and a
+  // timer that outlived a kill-then-rejoin of the same id stops too (the
+  // rejoin armed its own chain; without the check the node would run two).
+  const std::uint64_t incarnation = nodes_.at(id)->incarnation();
+  simulator_.schedule_in(delay, [this, id, incarnation]() {
     ChordNode* n = live_node(id);
-    if (n == nullptr) return;
+    if (n == nullptr || n->incarnation() != incarnation) return;
     n->stabilize();
     n->fix_fingers();
     n->check_predecessor();
-    schedule_maintenance(id);  // re-arm
+    ++maintenance_stats_.stabilize_rounds;
+    schedule_stabilize_in(config_.stabilize_interval, id);
   });
-  const double repair_phase = rng_.real() * config_.replica_repair_interval;
-  simulator_.schedule_in(repair_phase, [this, id]() {
+}
+
+void ChordNetwork::schedule_repair_in(double delay, const NodeId& id) {
+  const std::uint64_t incarnation = nodes_.at(id)->incarnation();
+  simulator_.schedule_in(delay, [this, id, incarnation]() {
     ChordNode* n = live_node(id);
-    if (n == nullptr) return;
+    if (n == nullptr || n->incarnation() != incarnation) return;
     n->replica_maintenance(config_.replication_factor);
+    ++maintenance_stats_.repair_rounds;
+    schedule_repair_in(config_.replica_repair_interval, id);
   });
 }
 
 NodeId ChordNetwork::add_node() { return add_node_with_id(fresh_node_id()); }
 
 NodeId ChordNetwork::add_node_with_id(const NodeId& id) {
-  require(nodes_.find(id) == nodes_.end() ||
-              !nodes_.at(id)->alive(),
+  require(nodes_.find(id) == nodes_.end() || !nodes_.at(id)->alive(),
           "ChordNetwork::add_node_with_id: id already in use");
-  auto node =
-      std::make_unique<ChordNode>(*this, id, config_.successor_list_size);
-  ChordNode* raw = node.get();
-  nodes_[id] = std::move(node);
+  ChordNode* raw = &allocate_node(id);
 
   if (alive_ids_.empty()) {
     raw->create();
@@ -116,7 +209,17 @@ NodeId ChordNetwork::add_node_with_id(const NodeId& id) {
     raw->join(bootstrap);
   }
   register_alive(id);
-  raw->fix_all_fingers();
+  if (config_.exact_join_fingers) {
+    raw->fix_all_fingers();
+  } else {
+    // O(log n) join: adopt the successor's (ring-adjacent, hence mostly
+    // correct) finger table; periodic fix_fingers converges it.
+    ChordNode* succ = live_node(raw->successor());
+    if (succ != nullptr && succ != raw) {
+      raw->finger_table() = succ->finger_table();
+    }
+    raw->set_finger(0, raw->successor());
+  }
   if (config_.run_maintenance) schedule_maintenance(id);
   return id;
 }
@@ -124,27 +227,32 @@ NodeId ChordNetwork::add_node_with_id(const NodeId& id) {
 void ChordNetwork::kill_node(const NodeId& id) {
   ChordNode* n = live_node(id);
   if (n == nullptr) return;
+  // Callers may pass a reference into alive_ids_ itself (e.g.
+  // kill_node(alive_ids()[i])); unregister_alive's swap-pop overwrites that
+  // slot, so work from a stable copy of the id.
+  const NodeId victim = n->id();
   n->fail();
-  unregister_alive(id);
-  handlers_.erase(id);
+  unregister_alive(victim);
+  handlers_.erase(victim);
 }
 
 void ChordNetwork::remove_node(const NodeId& id) {
   ChordNode* n = live_node(id);
   if (n == nullptr) return;
+  const NodeId victim = n->id();  // see kill_node on aliasing
   n->leave();
-  unregister_alive(id);
-  handlers_.erase(id);
+  unregister_alive(victim);
+  handlers_.erase(victim);
 }
 
 ChordNode* ChordNetwork::node(const NodeId& id) {
   auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  return it == nodes_.end() ? nullptr : it->second;
 }
 
 const ChordNode* ChordNetwork::node(const NodeId& id) const {
   auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  return it == nodes_.end() ? nullptr : it->second;
 }
 
 ChordNode* ChordNetwork::live_node(const NodeId& id) {
@@ -159,13 +267,12 @@ ChordNode& ChordNetwork::random_live_node() {
 
 LookupResult ChordNetwork::lookup(const NodeId& key) {
   const LookupResult result = random_live_node().find_successor(key);
-  ++lookup_stats_.lookups;
-  lookup_stats_.total_hops += static_cast<std::uint64_t>(result.hops);
-  if (!result.ok) ++lookup_stats_.failures;
+  lookup_stats_.record(result);
   return result;
 }
 
-bool ChordNetwork::put(const NodeId& key, Bytes value) {
+bool ChordNetwork::put(const NodeId& key, SharedBytes value) {
+  require(value != nullptr, "ChordNetwork::put: null value");
   const LookupResult result = lookup(key);
   if (!result.ok) return false;
   ChordNode* primary = live_node(result.node);
@@ -176,15 +283,15 @@ bool ChordNetwork::put(const NodeId& key, Bytes value) {
   for (std::size_t copy = 1; copy < config_.replication_factor; ++copy) {
     ChordNode* t = live_node(target);
     if (t == nullptr || t == primary) break;
-    t->store_local(key, value);
+    t->store_local(key, value);  // replicas share the buffer
     target = t->successor();
   }
   return true;
 }
 
-std::optional<Bytes> ChordNetwork::get(const NodeId& key) {
+SharedBytes ChordNetwork::get(const NodeId& key) {
   const LookupResult result = lookup(key);
-  if (!result.ok) return std::nullopt;
+  if (!result.ok) return nullptr;
   // Replicas live on the first replication_factor live successors of the
   // primary *at put/repair time*. When responsibility migrates afterwards
   // (the primary dies, or fresh nodes join between the key and the old
@@ -198,49 +305,37 @@ std::optional<Bytes> ChordNetwork::get(const NodeId& key) {
   for (std::size_t visit = 0; visit < max_visits; ++visit) {
     ChordNode* t = live_node(target);
     if (t == nullptr) break;
-    auto value = t->storage().get(key);
-    if (value.has_value()) return value;
+    SharedBytes value = t->storage().get(key);
+    if (value != nullptr) return value;
     NodeId next = t->successor();
     if (next == t->id()) {
       // Successor list exhausted (e.g. a fresh joiner whose only successor
       // died before it re-stabilized; routed lookups would just bounce off
-      // the same broken pointer). Step to the true ring successor directly
-      // — an O(live) oracle step in the spirit of Kademlia's
-      // closest_alive_brute_force, rare enough to be free, and equal to
-      // what one stabilize round would restore anyway.
-      bool have_next = false, have_wrap = false;
-      NodeId wrap{};
-      for (const NodeId& id : alive_ids_) {
-        if (id == t->id()) continue;
-        if (t->id() < id && (!have_next || id < next)) {
-          next = id;
-          have_next = true;
-        }
-        if (!have_wrap || id < wrap) {
-          wrap = id;
-          have_wrap = true;
-        }
-      }
-      if (!have_next && !have_wrap) break;  // genuinely alone
-      if (!have_next) next = wrap;
+      // the same broken pointer). Step to the true ring successor through
+      // the sorted live index — O(log n), and exactly the node one
+      // stabilize round would restore as the successor.
+      const std::optional<NodeId> step = live_ring_.successor_of(t->id());
+      if (!step.has_value()) break;  // genuinely alone
+      next = *step;
     }
     if (next == result.node) break;  // wrapped around
     target = next;
   }
-  return std::nullopt;
+  return nullptr;
 }
 
-bool ChordNetwork::store_on(const NodeId& id, const NodeId& key, Bytes value) {
+bool ChordNetwork::store_on(const NodeId& id, const NodeId& key,
+                            SharedBytes value) {
+  require(value != nullptr, "ChordNetwork::store_on: null value");
   ChordNode* n = live_node(id);
   if (n == nullptr) return false;
   n->store_local(key, std::move(value));
   return true;
 }
 
-std::optional<Bytes> ChordNetwork::load_from(const NodeId& id,
-                                             const NodeId& key) {
+SharedBytes ChordNetwork::load_from(const NodeId& id, const NodeId& key) {
   ChordNode* n = live_node(id);
-  if (n == nullptr) return std::nullopt;
+  if (n == nullptr) return nullptr;
   return n->storage().get(key);
 }
 
@@ -250,7 +345,8 @@ void ChordNetwork::set_message_handler(const NodeId& node_id,
 }
 
 void ChordNetwork::send_message(const NodeId& from, const NodeId& to,
-                                Bytes payload) {
+                                SharedBytes payload) {
+  require(payload != nullptr, "ChordNetwork::send_message: null payload");
   const double latency =
       config_.min_message_latency +
       rng_.real() * (config_.max_message_latency - config_.min_message_latency);
@@ -260,16 +356,18 @@ void ChordNetwork::send_message(const NodeId& from, const NodeId& to,
     if (dest == nullptr) return;  // message to a dead node is lost
     auto it = handlers_.find(to);
     if (it != handlers_.end()) {
-      it->second(from, to, payload);
+      it->second(from, to, *payload);
     } else if (default_handler_) {
-      default_handler_(from, to, payload);
+      default_handler_(from, to, *payload);
     }
   });
 }
 
 void ChordNetwork::send_message_routed(const NodeId& from,
                                        const NodeId& ring_point,
-                                       Bytes payload) {
+                                       SharedBytes payload) {
+  require(payload != nullptr,
+          "ChordNetwork::send_message_routed: null payload");
   const double latency =
       config_.min_message_latency +
       rng_.real() * (config_.max_message_latency - config_.min_message_latency);
@@ -281,9 +379,9 @@ void ChordNetwork::send_message_routed(const NodeId& from,
     if (dest == nullptr) return;
     auto it = handlers_.find(result.node);
     if (it != handlers_.end()) {
-      it->second(from, result.node, payload);
+      it->second(from, result.node, *payload);
     } else if (default_handler_) {
-      default_handler_(from, result.node, payload);
+      default_handler_(from, result.node, *payload);
     }
   });
 }

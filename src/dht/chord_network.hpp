@@ -7,10 +7,17 @@
 // callee behaves like a timeout); application-level messages travel through
 // the discrete-event simulator with a configurable latency model so that
 // protocol timing (holding periods, release times) is meaningful.
+//
+// Scale notes (see docs/architecture.md, "Performance model"): nodes live
+// in a stable deque arena (one allocation batch, pointers never move), the
+// live set is indexed both by a swap-pop vector (O(1) sampling) and a
+// sorted LiveRingIndex (O(log n) ring-successor queries), bootstrap wires
+// exact fingers in O(n log^2 n) without per-power binary searches, and all
+// stored/sent payloads are shared buffers (see common/bytes.hpp).
 #pragma once
 
+#include <deque>
 #include <functional>
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +25,7 @@
 #include "dht/chord_node.hpp"
 #include "dht/network.hpp"
 #include "dht/node_id.hpp"
+#include "dht/ring_index.hpp"
 #include "sim/simulator.hpp"
 
 namespace emergence::dht {
@@ -31,19 +39,19 @@ struct NetworkConfig {
   double min_message_latency = 0.010;        ///< seconds
   double max_message_latency = 0.100;        ///< seconds
   bool run_maintenance = true;  ///< schedule periodic stabilization tasks
+  /// When false, a joining node copies its successor's finger table instead
+  /// of running kIdBits lookups (fix_all_fingers); periodic fix_fingers
+  /// converges the copies. Large churned worlds join in O(log n) this way;
+  /// default keeps the historical exact-join behavior (and its sampled
+  /// outcomes) for the cross-validation sweeps.
+  bool exact_join_fingers = true;
 };
 
-/// Aggregate lookup statistics (hop counts feed the micro benchmarks).
-struct LookupStats {
-  std::uint64_t lookups = 0;
-  std::uint64_t total_hops = 0;
-  std::uint64_t failures = 0;
-
-  double mean_hops() const {
-    return lookups == 0 ? 0.0
-                        : static_cast<double>(total_hops) /
-                              static_cast<double>(lookups);
-  }
+/// Counters for the periodic maintenance timers (regression-tested: replica
+/// repair must fire at replica_repair_interval, not stabilize_interval).
+struct MaintenanceStats {
+  std::uint64_t stabilize_rounds = 0;
+  std::uint64_t repair_rounds = 0;
 };
 
 /// The in-process Chord DHT.
@@ -55,7 +63,7 @@ class ChordNetwork final : public Network {
 
   /// Creates `count` nodes with ids hash("node-<i>") and wires a correct ring
   /// (sorted successors, exact fingers). Equivalent to letting join/stabilize
-  /// converge, but O(n log n); maintenance keeps it correct afterwards.
+  /// converge, but O(n log^2 n); maintenance keeps it correct afterwards.
   void bootstrap(std::size_t count);
 
   /// Adds one node via the Chord join protocol. Returns its id.
@@ -71,6 +79,7 @@ class ChordNetwork final : public Network {
   std::size_t alive_count() const override { return alive_ids_.size(); }
   std::size_t total_count() const { return nodes_.size(); }
   const std::vector<NodeId>& alive_ids() const override { return alive_ids_; }
+  const LiveRingIndex& live_ring() const { return live_ring_; }
 
   ChordNode* node(const NodeId& id);
   const ChordNode* node(const NodeId& id) const;
@@ -85,11 +94,13 @@ class ChordNetwork final : public Network {
   /// Iterative lookup from a random live entry point.
   LookupResult lookup(const NodeId& key) override;
 
-  /// Stores `value` on the responsible node and its replicas.
-  bool put(const NodeId& key, Bytes value) override;
+  /// Stores `value` on the responsible node and its replicas (all replicas
+  /// share one buffer).
+  bool put(const NodeId& key, SharedBytes value) override;
+  using Network::put;
 
   /// Fetches from the responsible node, falling back to replicas.
-  std::optional<Bytes> get(const NodeId& key) override;
+  SharedBytes get(const NodeId& key) override;
 
   // -- node-addressed storage --------------------------------------------------
 
@@ -97,8 +108,10 @@ class ChordNetwork final : public Network {
     const ChordNode* n = node(id);
     return n != nullptr && n->alive();
   }
-  bool store_on(const NodeId& id, const NodeId& key, Bytes value) override;
-  std::optional<Bytes> load_from(const NodeId& id, const NodeId& key) override;
+  bool store_on(const NodeId& id, const NodeId& key,
+                SharedBytes value) override;
+  using Network::store_on;
+  SharedBytes load_from(const NodeId& id, const NodeId& key) override;
 
   // -- application messaging -------------------------------------------------
 
@@ -118,14 +131,16 @@ class ChordNetwork final : public Network {
   /// Sends an application payload; it is delivered after a sampled latency
   /// if (and only if) the destination is alive at delivery time.
   void send_message(const NodeId& from, const NodeId& to,
-                    Bytes payload) override;
+                    SharedBytes payload) override;
+  using Network::send_message;
 
   /// Sends a payload to *whichever node is responsible for `ring_point` at
   /// delivery time* (a fresh lookup runs then). This is how the protocol
   /// layer addresses holders: a holder that died re-resolves to its
   /// successor, exactly like a DHT put/get would.
   void send_message_routed(const NodeId& from, const NodeId& ring_point,
-                           Bytes payload) override;
+                           SharedBytes payload) override;
+  using Network::send_message_routed;
 
   /// Observer for every local store (see StoreObserver).
   void set_store_observer(StoreObserver observer) override {
@@ -144,6 +159,9 @@ class ChordNetwork final : public Network {
   }
   const NetworkConfig& config() const { return config_; }
   LookupStats& lookup_stats() { return lookup_stats_; }
+  const MaintenanceStats& maintenance_stats() const {
+    return maintenance_stats_;
+  }
 
   /// Runs one maintenance round on every live node right now (tests use this
   /// instead of waiting for periodic timers).
@@ -151,7 +169,10 @@ class ChordNetwork final : public Network {
 
  private:
   void schedule_maintenance(const NodeId& id);
+  void schedule_stabilize_in(double delay, const NodeId& id);
+  void schedule_repair_in(double delay, const NodeId& id);
   NodeId fresh_node_id();
+  ChordNode& allocate_node(const NodeId& id);
   void register_alive(const NodeId& id);
   void unregister_alive(const NodeId& id);
 
@@ -159,13 +180,18 @@ class ChordNetwork final : public Network {
   Rng& rng_;
   NetworkConfig config_;
 
-  std::unordered_map<NodeId, std::unique_ptr<ChordNode>, NodeIdHash> nodes_;
+  /// Node arena: stable addresses, no per-node unique_ptr allocation, dead
+  /// nodes stay (peers probe their liveness, exactly as before).
+  std::deque<ChordNode> arena_;
+  std::unordered_map<NodeId, ChordNode*, NodeIdHash> nodes_;
   std::vector<NodeId> alive_ids_;
   std::unordered_map<NodeId, std::size_t, NodeIdHash> alive_index_;
+  LiveRingIndex live_ring_;
   std::unordered_map<NodeId, MessageHandler, NodeIdHash> handlers_;
   MessageHandler default_handler_;
   StoreObserver store_observer_;
   LookupStats lookup_stats_;
+  MaintenanceStats maintenance_stats_;
   std::uint64_t node_counter_ = 0;
 };
 

@@ -11,8 +11,7 @@ ChordNode::ChordNode(ChordNetwork& network, NodeId id,
                      std::size_t successor_list_size)
     : network_(network),
       id_(id),
-      successor_list_size_(successor_list_size),
-      fingers_(kIdBits) {}
+      successor_list_size_(successor_list_size) {}
 
 NodeId ChordNode::successor() const {
   for (const NodeId& s : successors_) {
@@ -48,8 +47,8 @@ void ChordNode::join(const NodeId& bootstrap) {
     const std::optional<NodeId> succ_pred = succ->predecessor();
     const NodeId lower = succ_pred.value_or(result.node);
     for (const NodeId& key : succ->storage().keys_in_range(lower, id_)) {
-      auto value = succ->storage().get(key);
-      if (value.has_value()) store_local(key, std::move(*value));
+      SharedBytes value = succ->storage().get(key);
+      if (value != nullptr) store_local(key, std::move(value));
     }
     succ->notify(id_);
   }
@@ -61,8 +60,8 @@ void ChordNode::leave() {
   ChordNode* succ = network_.live_node(successor());
   if (succ != nullptr && succ != this) {
     for (const NodeId& key : storage_.all_keys()) {
-      auto value = storage_.get(key);
-      if (value.has_value()) succ->store_local(key, std::move(*value));
+      SharedBytes value = storage_.get(key);
+      if (value != nullptr) succ->store_local(key, std::move(value));
     }
     if (predecessor_.has_value()) succ->set_predecessor(predecessor_);
   }
@@ -74,6 +73,16 @@ void ChordNode::fail() {
   alive_ = false;
   storage_.clear();
   predecessor_.reset();
+}
+
+void ChordNode::reset_for_rejoin() {
+  alive_ = true;
+  predecessor_.reset();
+  successors_.clear();
+  fingers_.clear();
+  next_finger_ = 0;
+  storage_.clear();
+  ++incarnation_;
 }
 
 void ChordNode::prune_dead_successors() {
@@ -134,14 +143,14 @@ void ChordNode::fix_fingers() {
   if (!alive_) return;
   const NodeId target = id_.add_power_of_two(next_finger_);
   const LookupResult result = find_successor(target);
-  if (result.ok) fingers_[next_finger_] = result.node;
+  if (result.ok) fingers_.set(next_finger_, result.node);
   next_finger_ = (next_finger_ + 1) % kIdBits;
 }
 
 void ChordNode::fix_all_fingers() {
   for (std::size_t i = 0; i < kIdBits; ++i) {
     const LookupResult result = find_successor(id_.add_power_of_two(i));
-    if (result.ok) fingers_[i] = result.node;
+    if (result.ok) fingers_.set(i, result.node);
   }
 }
 
@@ -161,15 +170,15 @@ void ChordNode::replica_maintenance(std::size_t replication_factor) {
   for (const NodeId& key : storage_.all_keys()) {
     const LookupResult result = find_successor(key);
     if (!result.ok) continue;
-    auto value = storage_.get(key);
-    if (!value.has_value()) continue;
+    const SharedBytes value = storage_.get(key);
+    if (value == nullptr) continue;
 
     NodeId target = result.node;
     for (std::size_t copy = 0; copy < replication_factor; ++copy) {
       ChordNode* t = network_.live_node(target);
       if (t == nullptr) break;
       if (t != this && !t->storage().contains(key)) {
-        t->store_local(key, *value);
+        t->store_local(key, value);  // shares the buffer
       }
       target = t->successor();
       if (target == t->id()) break;  // ring collapsed to one node
@@ -210,9 +219,12 @@ LookupResult ChordNode::find_successor(const NodeId& key) const {
 
 NodeId ChordNode::closest_preceding_node(const NodeId& key) const {
   // Scan fingers from farthest to nearest for a live node in (id_, key).
-  for (std::size_t i = kIdBits; i-- > 0;) {
-    if (!fingers_[i].has_value()) continue;
-    const NodeId& f = *fingers_[i];
+  // The run-compressed table visits each distinct finger once (highest
+  // power first), which is exactly what the dense per-power scan reduced
+  // to: whether a finger qualifies does not depend on the power.
+  const std::vector<FingerTable::Run>& runs = fingers_.runs();
+  for (std::size_t i = runs.size(); i-- > 0;) {
+    const NodeId& f = runs[i].id;
     if (!in_open_interval(f, id_, key)) continue;
     const ChordNode* n = network_.node(f);
     if (n != nullptr && n->alive()) return f;
@@ -227,11 +239,12 @@ NodeId ChordNode::closest_preceding_node(const NodeId& key) const {
   return id_;
 }
 
-void ChordNode::store_local(const NodeId& key, Bytes value) {
+void ChordNode::store_local(const NodeId& key, SharedBytes value) {
   require(alive_, "ChordNode::store_local on a dead node");
+  require(value != nullptr, "ChordNode::store_local: null value");
   storage_.put(key, value, network_.simulator().now());
   if (network_.store_observer()) {
-    network_.store_observer()(id_, key, value);
+    network_.store_observer()(id_, key, BytesView(*value));
   }
 }
 

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "dht/finger_table.hpp"
 #include "dht/network.hpp"
 #include "dht/node_id.hpp"
 #include "dht/storage.hpp"
@@ -54,6 +55,16 @@ class ChordNode {
   /// Abrupt death (churn): state is lost, peers discover via timeouts.
   void fail();
 
+  /// Restores freshly-constructed state so a dead instance can serve a
+  /// rejoin of the same id (arena slots are reused, never destroyed).
+  void reset_for_rejoin();
+
+  /// Bumped by every reset_for_rejoin. Maintenance timers capture it at
+  /// scheduling time and abandon themselves when it moved on, so a
+  /// kill-then-rejoin that beats a pending timer cannot leave the node
+  /// with two concurrent stabilize/repair chains.
+  std::uint64_t incarnation() const { return incarnation_; }
+
   /// Periodic: verify successor, adopt a closer one, refresh successor list.
   void stabilize();
 
@@ -84,15 +95,21 @@ class ChordNode {
   Storage& storage() { return storage_; }
   const Storage& storage() const { return storage_; }
 
-  /// Stores locally and fires the network's on_store observer.
-  void store_local(const NodeId& key, Bytes value);
+  /// Stores locally and fires the network's on_store observer. Replication
+  /// shares the buffer: no copy per replica.
+  void store_local(const NodeId& key, SharedBytes value);
+  void store_local(const NodeId& key, Bytes value) {
+    store_local(key, shared_bytes(std::move(value)));
+  }
 
   // -- internals exposed for ChordNetwork / tests ----------------------------
 
   void set_successor_list(std::vector<NodeId> successors);
   void set_predecessor(std::optional<NodeId> pred) { predecessor_ = pred; }
-  void set_finger(std::size_t i, const NodeId& id) { fingers_[i] = id; }
-  const std::vector<std::optional<NodeId>>& fingers() const { return fingers_; }
+  void set_finger(std::size_t i, const NodeId& id) { fingers_.set(i, id); }
+  std::optional<NodeId> finger(std::size_t i) const { return fingers_.get(i); }
+  FingerTable& finger_table() { return fingers_; }
+  const FingerTable& finger_table() const { return fingers_; }
   void mark_alive(bool alive) { alive_ = alive; }
 
  private:
@@ -105,8 +122,9 @@ class ChordNode {
   std::optional<NodeId> predecessor_;
   std::vector<NodeId> successors_;  // ordered, nearest first
   std::size_t successor_list_size_;
-  std::vector<std::optional<NodeId>> fingers_;
+  FingerTable fingers_;  // run-compressed: ~log2(n) entries, not kIdBits
   std::size_t next_finger_ = 0;
+  std::uint64_t incarnation_ = 0;
 
   Storage storage_;
 };

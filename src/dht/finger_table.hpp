@@ -1,0 +1,63 @@
+// Run-length-compressed Chord finger table.
+//
+// A dense finger table stores one entry per identifier bit (160 here), but
+// in an n-node ring only ~log2(n) of them are distinct: every power whose
+// 2^p span falls short of the next node points at the same successor. The
+// dense std::vector<std::optional<NodeId>> representation cost ~3.4 KB per
+// node (the dominant memory term of a 100k-node world) and made
+// closest_preceding_node scan 160 slots per routing hop. This table stores
+// maximal runs of consecutive powers that share a finger instead: ~log2(n)
+// runs of ~22 bytes, O(#runs) per hop, and bulk construction during
+// bootstrap appends runs directly.
+//
+// set() keeps exact per-power semantics (fix_fingers updates one power at a
+// time), splitting and re-merging runs as needed; powers not covered by any
+// run are "unset", matching the optional<NodeId> nullopt of the dense form.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dht/node_id.hpp"
+
+namespace emergence::dht {
+
+/// Compressed map from finger power (0..kIdBits-1) to ring id.
+class FingerTable {
+ public:
+  /// One maximal run: powers lo..hi (inclusive) all point at `id`.
+  struct Run {
+    std::uint8_t lo = 0;
+    std::uint8_t hi = 0;
+    NodeId id;
+  };
+
+  /// The finger for `power`, nullopt when unset.
+  std::optional<NodeId> get(std::size_t power) const;
+
+  /// Points `power` at `id`, splitting/merging runs as needed.
+  void set(std::size_t power, const NodeId& id);
+
+  /// Bulk build: appends the run [lo, hi] -> id. Runs must arrive in
+  /// ascending, non-overlapping power order (the bootstrap construction
+  /// emits them that way); adjacent equal-id runs are coalesced.
+  void append_run(std::size_t lo, std::size_t hi, const NodeId& id);
+
+  void clear() { runs_.clear(); }
+  std::size_t run_count() const { return runs_.size(); }
+
+  /// Runs in ascending power order (closest_preceding_node iterates them
+  /// in reverse: farthest fingers first).
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  /// Index of the first run with hi >= power (== runs_.size() when none).
+  std::size_t first_run_reaching(std::size_t power) const;
+  /// Coalesces runs_[i] with its neighbors where ranges touch and ids match.
+  void merge_around(std::size_t i);
+
+  std::vector<Run> runs_;  // sorted by lo, pairwise disjoint
+};
+
+}  // namespace emergence::dht

@@ -1,6 +1,7 @@
 #include "dht/kademlia.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "common/error.hpp"
 
@@ -81,14 +82,29 @@ NodeId KademliaNetwork::fresh_node_id() {
   }
 }
 
+KademliaNode& KademliaNetwork::allocate_node(const NodeId& id) {
+  // A rejoin of a dead id reuses its arena slot (see ChordNetwork).
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    it->second->reset_for_rejoin();
+    return *it->second;
+  }
+  arena_.emplace_back(id, kIdBits);
+  KademliaNode& fresh = arena_.back();
+  nodes_[id] = &fresh;
+  return fresh;
+}
+
 void KademliaNetwork::register_alive(const NodeId& id) {
   alive_index_[id] = alive_ids_.size();
   alive_ids_.push_back(id);
+  live_ring_.insert(id);
 }
 
 void KademliaNetwork::unregister_alive(const NodeId& id) {
   auto it = alive_index_.find(id);
   if (it == alive_index_.end()) return;
+  live_ring_.erase(id);  // before the swap-pop: `id` may alias alive_ids_
   const std::size_t pos = it->second;
   const NodeId last = alive_ids_.back();
   alive_ids_[pos] = last;
@@ -100,21 +116,64 @@ void KademliaNetwork::unregister_alive(const NodeId& id) {
 void KademliaNetwork::bootstrap(std::size_t count) {
   require(count > 0, "KademliaNetwork::bootstrap: need at least one node");
   require(nodes_.empty(), "KademliaNetwork::bootstrap: already built");
+  nodes_.reserve(count);
+  alive_index_.reserve(count);
+  alive_ids_.reserve(count);
+
   std::vector<NodeId> ids;
   ids.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const NodeId id = fresh_node_id();
     ids.push_back(id);
-    nodes_.emplace(id,
-                   std::make_unique<KademliaNode>(id, kIdBits));
+    allocate_node(id);
     register_alive(id);
   }
-  // Exact bucket population: for every node, sort all peers by XOR distance
-  // and feed them bucket by bucket until each bucket holds up to k.
-  for (const NodeId& id : ids) {
-    KademliaNode& n = *nodes_.at(id);
-    for (const NodeId& peer : ids) {
-      if (peer != id) n.observe_contact(peer, config_.bucket_size);
+
+  // Bucket population via prefix ranges: node x's bucket b holds ids that
+  // share bits above b with x and differ at bit b — a contiguous range of
+  // the sorted id list, found with two binary searches instead of the old
+  // all-pairs observe_contact sweep (O(n^2) -> O(n * bits * (log n + k))).
+  // When a range holds more than bucket_size candidates the old sweep kept
+  // the first k in node-creation (hash-random) order; here we keep an
+  // evenly-strided sample of the range, a different but equally arbitrary
+  // deterministic k-subset. Consumers re-sort contacts by XOR distance, so
+  // only membership matters; near buckets (<= k candidates) are identical,
+  // which is what lookup exactness rests on.
+  std::vector<NodeId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  for (const NodeId& x : ids) {
+    KademliaNode& n = *nodes_.at(x);
+    const auto& xb = x.bytes();
+    for (std::size_t b = 0; b < kIdBits; ++b) {
+      const std::size_t byte = kIdBytes - 1 - b / 8;
+      const std::uint8_t mask = static_cast<std::uint8_t>(1u << (b % 8));
+
+      std::array<std::uint8_t, kIdBytes> lo{};
+      std::copy(xb.begin(), xb.end(), lo.begin());
+      lo[byte] = static_cast<std::uint8_t>((lo[byte] ^ mask) & ~(mask - 1));
+      std::array<std::uint8_t, kIdBytes> hi = lo;
+      hi[byte] = static_cast<std::uint8_t>(hi[byte] | (mask - 1));
+      for (std::size_t j = byte + 1; j < kIdBytes; ++j) {
+        lo[j] = 0x00;
+        hi[j] = 0xff;
+      }
+
+      const NodeId lo_id = NodeId::from_bytes(BytesView(lo.data(), lo.size()));
+      const NodeId hi_id = NodeId::from_bytes(BytesView(hi.data(), hi.size()));
+      const auto begin =
+          std::lower_bound(sorted.begin(), sorted.end(), lo_id);
+      const auto end = std::upper_bound(begin, sorted.end(), hi_id);
+      const std::size_t found = static_cast<std::size_t>(end - begin);
+      if (found == 0) continue;
+
+      std::vector<NodeId> contacts;
+      const std::size_t keep = std::min(found, config_.bucket_size);
+      contacts.reserve(keep);
+      for (std::size_t j = 0; j < keep; ++j) {
+        contacts.push_back(*(begin + static_cast<std::ptrdiff_t>(
+                                         j * found / keep)));
+      }
+      n.seed_bucket(b, std::move(contacts));
     }
   }
   if (config_.run_maintenance) schedule_republish();
@@ -129,8 +188,7 @@ NodeId KademliaNetwork::add_node_with_id(const NodeId& id) {
 }
 
 NodeId KademliaNetwork::join_node(const NodeId& id) {
-  nodes_[id] = std::make_unique<KademliaNode>(id, kIdBits);
-  KademliaNode& fresh = *nodes_.at(id);
+  KademliaNode& fresh = allocate_node(id);
   if (!alive_ids_.empty()) {
     // Learn the bootstrap contact, then run a self-lookup: every node on
     // the query path becomes a contact (and learns us).
@@ -150,20 +208,23 @@ NodeId KademliaNetwork::join_node(const NodeId& id) {
 void KademliaNetwork::kill_node(const NodeId& id) {
   KademliaNode* n = live_node(id);
   if (n == nullptr) return;
+  // Callers may pass a reference into alive_ids_ itself; unregister_alive's
+  // swap-pop overwrites that slot, so work from a stable copy of the id.
+  const NodeId victim = n->id();
   n->mark_alive(false);
   n->storage().clear();
-  unregister_alive(id);
-  handlers_.erase(id);
+  unregister_alive(victim);
+  handlers_.erase(victim);
 }
 
 KademliaNode* KademliaNetwork::node(const NodeId& id) {
   auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  return it == nodes_.end() ? nullptr : it->second;
 }
 
 const KademliaNode* KademliaNetwork::node(const NodeId& id) const {
   auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  return it == nodes_.end() ? nullptr : it->second;
 }
 
 KademliaNode* KademliaNetwork::live_node(const NodeId& id) {
@@ -171,13 +232,9 @@ KademliaNode* KademliaNetwork::live_node(const NodeId& id) {
   return (n != nullptr && n->alive()) ? n : nullptr;
 }
 
-NodeId KademliaNetwork::closest_alive_brute_force(const NodeId& key) const {
+NodeId KademliaNetwork::closest_alive(const NodeId& key) const {
   require(!alive_ids_.empty(), "KademliaNetwork: no live nodes");
-  NodeId best = alive_ids_.front();
-  for (const NodeId& id : alive_ids_) {
-    if (xor_closer(id, best, key)) best = id;
-  }
-  return best;
+  return *live_ring_.xor_closest(key);
 }
 
 LookupResult KademliaNetwork::iterative_find(const NodeId& key) {
@@ -262,12 +319,12 @@ LookupResult KademliaNetwork::iterative_find_from(KademliaNode& origin,
     if (live_node(candidate) != nullptr) {
       result.node = candidate;
       result.hops = hops;
-      ++lookups_;
-      total_hops_ += static_cast<std::uint64_t>(hops);
+      lookup_stats_.record(result);
       return result;
     }
   }
   result.ok = false;
+  lookup_stats_.record(result);
   return result;
 }
 
@@ -275,7 +332,8 @@ LookupResult KademliaNetwork::lookup(const NodeId& key) {
   return iterative_find(key);
 }
 
-bool KademliaNetwork::put(const NodeId& key, Bytes value) {
+bool KademliaNetwork::put(const NodeId& key, SharedBytes value) {
+  require(value != nullptr, "KademliaNetwork::put: null value");
   const LookupResult result = lookup(key);
   if (!result.ok) return false;
   // Replicate to the replication_factor closest live nodes around the key.
@@ -287,28 +345,28 @@ bool KademliaNetwork::put(const NodeId& key, Bytes value) {
   for (const NodeId& id : replicas) {
     KademliaNode* n = live_node(id);
     if (n == nullptr) continue;
-    n->storage().put(key, value, simulator_.now());
-    if (store_observer_) store_observer_(id, key, value);
+    n->storage().put(key, value, simulator_.now());  // shares the buffer
+    if (store_observer_) store_observer_(id, key, *value);
     if (++stored >= config_.replication_factor) break;
   }
   return stored > 0;
 }
 
-std::optional<Bytes> KademliaNetwork::get(const NodeId& key) {
+SharedBytes KademliaNetwork::get(const NodeId& key) {
   const LookupResult result = lookup(key);
-  if (!result.ok) return std::nullopt;
+  if (!result.ok) return nullptr;
   KademliaNode* owner = live_node(result.node);
-  if (owner == nullptr) return std::nullopt;
-  auto value = owner->storage().get(key);
-  if (value.has_value()) return value;
+  if (owner == nullptr) return nullptr;
+  SharedBytes value = owner->storage().get(key);
+  if (value != nullptr) return value;
   // Ask the nodes around the key.
   for (const NodeId& id : owner->closest_contacts(key, config_.bucket_size)) {
     KademliaNode* n = live_node(id);
     if (n == nullptr) continue;
     value = n->storage().get(key);
-    if (value.has_value()) return value;
+    if (value != nullptr) return value;
   }
-  return std::nullopt;
+  return nullptr;
 }
 
 bool KademliaNetwork::is_alive(const NodeId& id) const {
@@ -317,18 +375,18 @@ bool KademliaNetwork::is_alive(const NodeId& id) const {
 }
 
 bool KademliaNetwork::store_on(const NodeId& id, const NodeId& key,
-                               Bytes value) {
+                               SharedBytes value) {
+  require(value != nullptr, "KademliaNetwork::store_on: null value");
   KademliaNode* n = live_node(id);
   if (n == nullptr) return false;
   n->storage().put(key, value, simulator_.now());
-  if (store_observer_) store_observer_(id, key, value);
+  if (store_observer_) store_observer_(id, key, *value);
   return true;
 }
 
-std::optional<Bytes> KademliaNetwork::load_from(const NodeId& id,
-                                                const NodeId& key) {
+SharedBytes KademliaNetwork::load_from(const NodeId& id, const NodeId& key) {
   KademliaNode* n = live_node(id);
-  if (n == nullptr) return std::nullopt;
+  if (n == nullptr) return nullptr;
   return n->storage().get(key);
 }
 
@@ -344,7 +402,7 @@ double KademliaNetwork::sample_latency() {
 }
 
 void KademliaNetwork::deliver(const NodeId& from, const NodeId& to,
-                              const Bytes& payload) {
+                              BytesView payload) {
   if (live_node(to) == nullptr) return;
   auto it = handlers_.find(to);
   if (it != handlers_.end()) {
@@ -355,22 +413,25 @@ void KademliaNetwork::deliver(const NodeId& from, const NodeId& to,
 }
 
 void KademliaNetwork::send_message(const NodeId& from, const NodeId& to,
-                                   Bytes payload) {
+                                   SharedBytes payload) {
+  require(payload != nullptr, "KademliaNetwork::send_message: null payload");
   simulator_.schedule_in(sample_latency(),
                          [this, from, to, payload = std::move(payload)]() {
-                           deliver(from, to, payload);
+                           deliver(from, to, *payload);
                          });
 }
 
 void KademliaNetwork::send_message_routed(const NodeId& from,
                                           const NodeId& ring_point,
-                                          Bytes payload) {
+                                          SharedBytes payload) {
+  require(payload != nullptr,
+          "KademliaNetwork::send_message_routed: null payload");
   simulator_.schedule_in(
       sample_latency(),
       [this, from, ring_point, payload = std::move(payload)]() {
         const LookupResult result = lookup(ring_point);
         if (!result.ok) return;
-        deliver(from, result.node, payload);
+        deliver(from, result.node, *payload);
       });
 }
 
@@ -380,14 +441,14 @@ void KademliaNetwork::republish_round() {
     KademliaNode* n = live_node(id);
     if (n == nullptr) continue;
     for (const NodeId& key : n->storage().all_keys()) {
-      auto value = n->storage().get(key);
-      if (!value.has_value()) continue;
+      const SharedBytes value = n->storage().get(key);
+      if (value == nullptr) continue;
       std::size_t stored = 0;
       for (const NodeId& peer : n->closest_contacts(key, config_.bucket_size)) {
         KademliaNode* p = live_node(peer);
         if (p == nullptr) continue;
         if (p != n && !p->storage().contains(key)) {
-          p->storage().put(key, *value, simulator_.now());
+          p->storage().put(key, value, simulator_.now());
           if (store_observer_) store_observer_(peer, key, *value);
         }
         if (++stored >= config_.replication_factor) break;

@@ -14,13 +14,14 @@
 // Chord or Kademlia (see tests/test_protocol.cpp).
 #pragma once
 
-#include <memory>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "dht/network.hpp"
 #include "dht/node_id.hpp"
+#include "dht/ring_index.hpp"
 #include "dht/storage.hpp"
 #include "sim/simulator.hpp"
 
@@ -53,11 +54,25 @@ class KademliaNode {
   bool alive() const { return alive_; }
   void mark_alive(bool alive) { alive_ = alive; }
 
+  /// Restores freshly-constructed state so a dead instance can serve a
+  /// rejoin of the same id (arena slots are reused, never destroyed).
+  void reset_for_rejoin() {
+    alive_ = true;
+    for (auto& bucket : buckets_) bucket.clear();
+    storage_.clear();
+  }
+
   /// Inserts a contact into its bucket (drops it when the bucket is full,
   /// the classic least-recently-seen policy simplified to reject-new).
   void observe_contact(const NodeId& contact, std::size_t bucket_size);
   /// Removes a contact (after a failed RPC).
   void drop_contact(const NodeId& contact);
+
+  /// Bulk bucket fill used by bootstrap (bucket membership is a set: every
+  /// consumer re-sorts by XOR distance, so internal order is irrelevant).
+  void seed_bucket(std::size_t index, std::vector<NodeId> contacts) {
+    buckets_[index] = std::move(contacts);
+  }
 
   /// The `count` known contacts closest to `target` (plus self).
   std::vector<NodeId> closest_contacts(const NodeId& target,
@@ -80,7 +95,8 @@ class KademliaNetwork final : public Network {
   KademliaNetwork(sim::Simulator& simulator, Rng& rng,
                   KademliaConfig config = {});
 
-  /// Creates `count` nodes and wires fully-populated k-buckets.
+  /// Creates `count` nodes and wires populated k-buckets in
+  /// O(n * bits * (log n + k)) via prefix ranges over the sorted id list.
   void bootstrap(std::size_t count);
 
   /// Joins one node through a random live bootstrap contact.
@@ -97,16 +113,20 @@ class KademliaNetwork final : public Network {
   const KademliaNode* node(const NodeId& id) const;
   KademliaNode* live_node(const NodeId& id);
 
-  /// True closest live node to `key` by brute force (test oracle).
-  NodeId closest_alive_brute_force(const NodeId& key) const;
+  /// True closest live node to `key`, answered by the sorted live index in
+  /// O(bits * log n) (replaces the old O(live) brute-force oracle scan).
+  NodeId closest_alive(const NodeId& key) const;
 
   // -- Network interface -------------------------------------------------------
   LookupResult lookup(const NodeId& key) override;
-  bool put(const NodeId& key, Bytes value) override;
-  std::optional<Bytes> get(const NodeId& key) override;
+  bool put(const NodeId& key, SharedBytes value) override;
+  using Network::put;
+  SharedBytes get(const NodeId& key) override;
   bool is_alive(const NodeId& id) const override;
-  bool store_on(const NodeId& id, const NodeId& key, Bytes value) override;
-  std::optional<Bytes> load_from(const NodeId& id, const NodeId& key) override;
+  bool store_on(const NodeId& id, const NodeId& key,
+                SharedBytes value) override;
+  using Network::store_on;
+  SharedBytes load_from(const NodeId& id, const NodeId& key) override;
   void set_message_handler(const NodeId& node, MessageHandler handler) override;
   void set_default_message_handler(MessageHandler handler) override {
     default_handler_ = std::move(handler);
@@ -115,9 +135,11 @@ class KademliaNetwork final : public Network {
     return default_handler_;
   }
   void send_message(const NodeId& from, const NodeId& to,
-                    Bytes payload) override;
+                    SharedBytes payload) override;
+  using Network::send_message;
   void send_message_routed(const NodeId& from, const NodeId& ring_point,
-                           Bytes payload) override;
+                           SharedBytes payload) override;
+  using Network::send_message_routed;
   void set_store_observer(StoreObserver observer) override {
     store_observer_ = std::move(observer);
   }
@@ -132,13 +154,11 @@ class KademliaNetwork final : public Network {
   }
 
   const std::vector<NodeId>& alive_ids() const override { return alive_ids_; }
+  const LiveRingIndex& live_ring() const { return live_ring_; }
   const KademliaConfig& config() const { return config_; }
-  std::uint64_t lookup_count() const { return lookups_; }
-  double mean_lookup_hops() const {
-    return lookups_ == 0 ? 0.0
-                         : static_cast<double>(total_hops_) /
-                               static_cast<double>(lookups_);
-  }
+  LookupStats& lookup_stats() { return lookup_stats_; }
+  std::uint64_t lookup_count() const { return lookup_stats_.lookups; }
+  double mean_lookup_hops() const { return lookup_stats_.mean_hops(); }
 
   /// Republishes every stored key to its current replica set (replica
   /// repair; scheduled periodically when run_maintenance is on).
@@ -146,12 +166,13 @@ class KademliaNetwork final : public Network {
 
  private:
   NodeId fresh_node_id();
+  KademliaNode& allocate_node(const NodeId& id);
   NodeId join_node(const NodeId& id);
   void register_alive(const NodeId& id);
   void unregister_alive(const NodeId& id);
   void schedule_republish();
   double sample_latency();
-  void deliver(const NodeId& from, const NodeId& to, const Bytes& payload);
+  void deliver(const NodeId& from, const NodeId& to, BytesView payload);
 
   /// Iterative node lookup: the closest live node to `key`, with hop count.
   /// Queried nodes learn the originator (Kademlia's implicit liveness
@@ -163,15 +184,17 @@ class KademliaNetwork final : public Network {
   sim::Simulator& simulator_;
   Rng& rng_;
   KademliaConfig config_;
-  std::unordered_map<NodeId, std::unique_ptr<KademliaNode>, NodeIdHash> nodes_;
+  /// Node arena (stable addresses, no per-node allocation churn).
+  std::deque<KademliaNode> arena_;
+  std::unordered_map<NodeId, KademliaNode*, NodeIdHash> nodes_;
   std::vector<NodeId> alive_ids_;
   std::unordered_map<NodeId, std::size_t, NodeIdHash> alive_index_;
+  LiveRingIndex live_ring_;
   std::unordered_map<NodeId, MessageHandler, NodeIdHash> handlers_;
   MessageHandler default_handler_;
   StoreObserver store_observer_;
+  LookupStats lookup_stats_;
   std::uint64_t node_counter_ = 0;
-  std::uint64_t lookups_ = 0;
-  std::uint64_t total_hops_ = 0;
 };
 
 }  // namespace emergence::dht

@@ -26,6 +26,26 @@ struct LookupResult {
   bool ok = true;  ///< false when routing failed
 };
 
+/// Aggregate lookup statistics, kept by both backends (hop counts feed the
+/// micro benchmarks and the perf suite).
+struct LookupStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t failures = 0;
+
+  double mean_hops() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(total_hops) /
+                              static_cast<double>(lookups);
+  }
+
+  void record(const LookupResult& result) {
+    ++lookups;
+    total_hops += static_cast<std::uint64_t>(result.hops);
+    if (!result.ok) ++failures;
+  }
+};
+
 /// Handler for application messages delivered to a node.
 using MessageHandler =
     std::function<void(const NodeId& from, const NodeId& to, BytesView payload)>;
@@ -41,19 +61,24 @@ class Network {
   virtual ~Network() = default;
 
   // -- lookup / storage -------------------------------------------------------
+  // Payloads travel as SharedBytes so that replication and message fan-out
+  // copy reference counts, not buffers; the owning-Bytes overloads below
+  // wrap once at the boundary for callers that build a fresh buffer.
   virtual LookupResult lookup(const NodeId& key) = 0;
-  virtual bool put(const NodeId& key, Bytes value) = 0;
-  virtual std::optional<Bytes> get(const NodeId& key) = 0;
+  virtual bool put(const NodeId& key, SharedBytes value) = 0;
+  /// The stored value (possibly a replica), or nullptr when unreachable.
+  virtual SharedBytes get(const NodeId& key) = 0;
 
   // -- node-addressed storage (protocol key assignment / retrieval) -----------
   /// True when `node` exists and is alive.
   virtual bool is_alive(const NodeId& node) const = 0;
   /// Stores directly on a specific live node (fires the store observer);
   /// returns false when the node is dead.
-  virtual bool store_on(const NodeId& node, const NodeId& key, Bytes value) = 0;
-  /// Reads a blob from a specific live node's local storage.
-  virtual std::optional<Bytes> load_from(const NodeId& node,
-                                         const NodeId& key) = 0;
+  virtual bool store_on(const NodeId& node, const NodeId& key,
+                        SharedBytes value) = 0;
+  /// Reads a blob from a specific live node's local storage (nullptr when
+  /// the node is dead or does not hold the key).
+  virtual SharedBytes load_from(const NodeId& node, const NodeId& key) = 0;
 
   // -- application messaging ---------------------------------------------------
   virtual void set_message_handler(const NodeId& node,
@@ -64,11 +89,26 @@ class Network {
   virtual const MessageHandler& default_message_handler() const = 0;
   /// Point-to-point: lost if the destination is dead at delivery time.
   virtual void send_message(const NodeId& from, const NodeId& to,
-                            Bytes payload) = 0;
+                            SharedBytes payload) = 0;
   /// Routed: delivered to whichever node is responsible for `ring_point`
   /// at delivery time.
   virtual void send_message_routed(const NodeId& from, const NodeId& ring_point,
-                                   Bytes payload) = 0;
+                                   SharedBytes payload) = 0;
+
+  // -- owning-buffer conveniences (wrap once, then share) ----------------------
+  bool put(const NodeId& key, Bytes value) {
+    return put(key, shared_bytes(std::move(value)));
+  }
+  bool store_on(const NodeId& node, const NodeId& key, Bytes value) {
+    return store_on(node, key, shared_bytes(std::move(value)));
+  }
+  void send_message(const NodeId& from, const NodeId& to, Bytes payload) {
+    send_message(from, to, shared_bytes(std::move(payload)));
+  }
+  void send_message_routed(const NodeId& from, const NodeId& ring_point,
+                           Bytes payload) {
+    send_message_routed(from, ring_point, shared_bytes(std::move(payload)));
+  }
 
   // -- exposure tracking --------------------------------------------------------
   virtual void set_store_observer(StoreObserver observer) = 0;

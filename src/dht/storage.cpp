@@ -2,16 +2,16 @@
 
 namespace emergence::dht {
 
-bool Storage::put(const NodeId& key, Bytes value, sim::Time now) {
+bool Storage::put(const NodeId& key, SharedBytes value, sim::Time now) {
   auto [it, inserted] = items_.insert_or_assign(
       key, StoredItem{std::move(value), now});
   (void)it;
   return inserted;
 }
 
-std::optional<Bytes> Storage::get(const NodeId& key) const {
+SharedBytes Storage::get(const NodeId& key) const {
   auto it = items_.find(key);
-  if (it == items_.end()) return std::nullopt;
+  if (it == items_.end()) return nullptr;
   return it->second.value;
 }
 

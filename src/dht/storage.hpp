@@ -1,11 +1,12 @@
 // Per-node key-value storage for the DHT.
 //
-// Values are opaque byte blobs keyed by ring identifiers. The store records
-// when each item arrived, which the replica-maintenance logic and the
-// experiment instrumentation (exposure tracking) use.
+// Values are immutable shared byte blobs keyed by ring identifiers:
+// replicating a value to another node copies a reference count, not the
+// bytes (see SharedBytes in common/bytes.hpp). The store records when each
+// item arrived, which the replica-maintenance logic and the experiment
+// instrumentation (exposure tracking) use.
 #pragma once
 
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -17,17 +18,23 @@ namespace emergence::dht {
 
 /// One stored item with its arrival timestamp.
 struct StoredItem {
-  Bytes value;
+  SharedBytes value;
   sim::Time stored_at = 0.0;
 };
 
-/// In-memory blob store used by each Chord node.
+/// In-memory blob store used by each DHT node.
 class Storage {
  public:
   /// Inserts or overwrites. Returns true when the key was new.
-  bool put(const NodeId& key, Bytes value, sim::Time now);
+  bool put(const NodeId& key, SharedBytes value, sim::Time now);
+  /// Owning-buffer convenience: wraps once, then shares.
+  bool put(const NodeId& key, Bytes value, sim::Time now) {
+    return put(key, shared_bytes(std::move(value)), now);
+  }
 
-  std::optional<Bytes> get(const NodeId& key) const;
+  /// The stored value, or nullptr when the key is absent. The returned
+  /// handle stays valid after erase/clear/node death (immutably shared).
+  SharedBytes get(const NodeId& key) const;
   bool contains(const NodeId& key) const;
   bool erase(const NodeId& key);
   void clear();

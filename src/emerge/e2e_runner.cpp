@@ -74,12 +74,22 @@ std::size_t E2eRunner::restore_margin_periods(double earliest,
 
 namespace {
 
+/// Buffers reused across the runs of one shard (each shard runs on one
+/// worker thread, so no sharing). Worlds are built and torn down hundreds
+/// of times per scenario; keeping the coalition buffer alive across runs
+/// removes a per-run allocate/free cycle without touching any state that
+/// could leak between runs (it is repopulated from scratch every time).
+struct WorldScratch {
+  std::vector<dht::NodeId> coalition;
+};
+
 /// One full-stack world: fresh simulator, DHT, cloud, coalition and
 /// scenario.sessions concurrent sessions, driven through tr. Everything is
 /// seeded from fork(run_index) sub-streams of the scenario seed, so the
 /// outcome is a pure function of (scenario, run_index) — the property the
 /// sharded sweep's bit-identity rests on.
-void run_world(const E2eScenario& s, std::size_t run_index, E2eTally& out) {
+void run_world(const E2eScenario& s, std::size_t run_index, E2eTally& out,
+               WorldScratch& scratch) {
   const Rng master(s.seed);
   const Rng run_master = master.fork(run_index);
   Rng net_rng = run_master.fork(1);
@@ -124,7 +134,8 @@ void run_world(const E2eScenario& s, std::size_t run_index, E2eTally& out) {
   // shared instance would conflate their key material.
   std::vector<std::unique_ptr<Adversary>> adversaries;
   if (coalition_size > 0) {
-    std::vector<dht::NodeId> coalition;
+    std::vector<dht::NodeId>& coalition = scratch.coalition;
+    coalition.clear();
     const std::vector<dht::NodeId>& initial = net->alive_ids();
     for (std::uint32_t pick :
          mark_rng.sample_without_replacement(initial.size(), coalition_size)) {
@@ -267,9 +278,11 @@ E2eTally E2eRunner::run_tallies(const E2eScenario& s) {
   std::vector<E2eTally> tallies(shard_count);
   sweeps_.run_shards(shard_count, [&](std::size_t shard) {
     E2eTally tally;
+    WorldScratch scratch;
     const std::size_t begin = shard * shard_size;
     const std::size_t end = std::min(s.runs, begin + shard_size);
-    for (std::size_t run = begin; run < end; ++run) run_world(s, run, tally);
+    for (std::size_t run = begin; run < end; ++run)
+      run_world(s, run, tally, scratch);
     tallies[shard] = std::move(tally);
   });
 

@@ -344,8 +344,8 @@ void TimedReleaseSession::process_holder(std::uint16_t column,
   if (preassigned) {
     // Same derivation as assign_keys_at_start: the slot's ring point.
     const dht::NodeId storage_key = layout_.ring_points[column - 1][holder_index];
-    const auto stored = network_.load_from(holder, storage_key);
-    if (!stored.has_value() || stored->size() != 32) {
+    const SharedBytes stored = network_.load_from(holder, storage_key);
+    if (stored == nullptr || stored->size() != 32) {
       ++report_.holders_stuck;  // key lost to churn before use
       return;
     }
@@ -461,8 +461,8 @@ void TimedReleaseSession::refresh_adversary_exposure() {
     for (std::size_t h = 0; h < layout_.holders_in_column(column); ++h) {
       const dht::NodeId& holder = layout_.columns[column - 1][h];
       if (!adversary_->is_malicious(holder)) continue;
-      const auto stored = network_.load_from(holder, storage_key);
-      if (stored.has_value() && stored->size() == 32) {
+      const SharedBytes stored = network_.load_from(holder, storage_key);
+      if (stored != nullptr && stored->size() == 32) {
         adversary_->observe_key(layer_id,
                                 crypto::SymmetricKey::from_bytes(*stored),
                                 now);

@@ -9,6 +9,8 @@ EventId Simulator::schedule_at(Time at, std::function<void()> action) {
   const EventId id = next_id_++;
   queue_.push(Entry{at, id, std::move(action)});
   live_.insert(id);
+  ++scheduled_;
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   return id;
 }
 
@@ -18,7 +20,10 @@ EventId Simulator::schedule_in(Time delay, std::function<void()> action) {
 }
 
 void Simulator::cancel(EventId id) {
-  if (live_.erase(id) > 0) cancelled_.insert(id);
+  if (live_.erase(id) > 0) {
+    cancelled_.insert(id);
+    ++cancelled_events_;
+  }
 }
 
 bool Simulator::skip_cancelled_head() {

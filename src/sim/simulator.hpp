@@ -46,6 +46,15 @@ class Simulator {
   std::size_t pending() const { return live_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  // -- cheap instrumentation (one counter update per schedule/cancel; the
+  // perf suite reports these per phase) --------------------------------------
+  /// Total events ever scheduled.
+  std::uint64_t scheduled_events() const { return scheduled_; }
+  /// Total effective cancellations (of still-pending events).
+  std::uint64_t cancelled_events() const { return cancelled_events_; }
+  /// High-water mark of the event queue (includes tombstones).
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+
  private:
   struct Entry {
     Time at;
@@ -68,6 +77,9 @@ class Simulator {
   Time now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_events_ = 0;
+  std::size_t max_queue_depth_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   /// Ids scheduled but not yet fired or cancelled. cancel() only tombstones
   /// ids found here, so cancelling a fired or unknown id cannot desync the

@@ -1,0 +1,355 @@
+// Tests for the large-N machinery behind the perf suite: the sorted
+// live-ring index (vs brute-force oracles, under interleaved churn), the
+// run-compressed finger table (vs a dense reference model and the naive
+// per-power bootstrap construction), O(log n) lookup-hop growth on 1k vs
+// 10k rings, replica-repair timer cadence, and the zero-copy payload
+// guarantees of the SharedBytes refactor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/finger_table.hpp"
+#include "dht/kademlia.hpp"
+#include "dht/ring_index.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::dht {
+namespace {
+
+// -- LiveRingIndex vs brute force under interleaved add/kill/remove churn ------
+
+std::optional<NodeId> brute_successor_of(const std::vector<NodeId>& live,
+                                         const NodeId& id) {
+  bool have_next = false, have_wrap = false;
+  NodeId next{}, wrap{};
+  for (const NodeId& x : live) {
+    if (x == id) continue;
+    if (id < x && (!have_next || x < next)) {
+      next = x;
+      have_next = true;
+    }
+    if (!have_wrap || x < wrap) {
+      wrap = x;
+      have_wrap = true;
+    }
+  }
+  if (have_next) return next;
+  if (have_wrap) return wrap;
+  return std::nullopt;
+}
+
+std::optional<NodeId> brute_xor_closest(const std::vector<NodeId>& live,
+                                        const NodeId& key) {
+  if (live.empty()) return std::nullopt;
+  NodeId best = live.front();
+  for (const NodeId& x : live) {
+    if (xor_closer(x, best, key)) best = x;
+  }
+  return best;
+}
+
+TEST(LiveRingIndex, MatchesBruteForceOraclesUnderChurn) {
+  Rng rng(20260731);
+  LiveRingIndex index;
+  std::vector<NodeId> live;
+
+  for (int op = 0; op < 4000; ++op) {
+    const double action = rng.real();
+    if (live.empty() || action < 0.45) {
+      const NodeId fresh =
+          NodeId::hash_of_text("ring-" + std::to_string(op));
+      live.push_back(fresh);
+      index.insert(fresh);
+    } else if (action < 0.75) {
+      const std::size_t victim = rng.index(live.size());
+      index.erase(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    ASSERT_EQ(index.size(), live.size());
+
+    const NodeId probe =
+        rng.chance(0.5) && !live.empty()
+            ? live[rng.index(live.size())]
+            : NodeId::hash_of_text("probe-" + std::to_string(op));
+    EXPECT_EQ(index.successor_of(probe), brute_successor_of(live, probe));
+    EXPECT_EQ(index.successor_inclusive(probe),
+              live.empty() ? std::nullopt : std::optional<NodeId>([&] {
+                auto sorted = live;
+                std::sort(sorted.begin(), sorted.end());
+                auto it =
+                    std::lower_bound(sorted.begin(), sorted.end(), probe);
+                return it == sorted.end() ? sorted.front() : *it;
+              }()));
+    EXPECT_EQ(index.xor_closest(probe), brute_xor_closest(live, probe));
+  }
+}
+
+// -- FingerTable vs a dense reference model ------------------------------------
+
+TEST(FingerTable, MatchesDenseReferenceUnderRandomSets) {
+  Rng rng(7);
+  FingerTable table;
+  std::vector<std::optional<NodeId>> dense(kIdBits);
+  // Small id pool: forces long shared runs, splits and re-merges.
+  std::vector<NodeId> pool;
+  for (int i = 0; i < 5; ++i)
+    pool.push_back(NodeId::hash_of_text("finger-" + std::to_string(i)));
+
+  for (int op = 0; op < 5000; ++op) {
+    const std::size_t power = rng.index(kIdBits);
+    const NodeId& id = pool[rng.index(pool.size())];
+    table.set(power, id);
+    dense[power] = id;
+    if (op % 97 == 0) {
+      for (std::size_t p = 0; p < kIdBits; ++p) {
+        ASSERT_EQ(table.get(p), dense[p]) << "power " << p << " op " << op;
+      }
+      // Compression invariant: adjacent runs never mergeable.
+      const auto& runs = table.runs();
+      for (std::size_t i = 0; i + 1 < runs.size(); ++i) {
+        ASSERT_LT(static_cast<int>(runs[i].hi), static_cast<int>(runs[i + 1].lo));
+        if (runs[i].hi + 1 == runs[i + 1].lo) {
+          ASSERT_NE(runs[i].id, runs[i + 1].id);
+        }
+      }
+    }
+  }
+}
+
+TEST(FingerTable, RunCountStaysLogarithmicOnBootstrappedRing) {
+  sim::Simulator sim;
+  Rng rng(11);
+  NetworkConfig config;
+  config.run_maintenance = false;
+  ChordNetwork net(sim, rng, config);
+  net.bootstrap(512);
+  for (const NodeId& id : net.alive_ids()) {
+    // A 512-node ring needs ~log2(512) = 9 distinct fingers; the dense
+    // representation stored 160 slots.
+    EXPECT_LE(net.node(id)->finger_table().run_count(), 16u);
+    EXPECT_GE(net.node(id)->finger_table().run_count(), 2u);
+  }
+}
+
+// -- bootstrap finger construction vs the naive per-power lower_bound ----------
+
+TEST(ChordBootstrap, FingerRunsMatchNaivePerPowerConstruction) {
+  for (std::size_t count : {1u, 2u, 3u, 5u, 17u, 64u, 101u}) {
+    sim::Simulator sim;
+    Rng rng(3);
+    NetworkConfig config;
+    config.run_maintenance = false;
+    ChordNetwork net(sim, rng, config);
+    net.bootstrap(count);
+
+    std::vector<NodeId> ids = net.alive_ids();
+    std::sort(ids.begin(), ids.end());
+    for (const NodeId& id : ids) {
+      const ChordNode* n = net.node(id);
+      for (std::size_t p = 0; p < kIdBits; ++p) {
+        const NodeId start = id.add_power_of_two(p);
+        auto it = std::lower_bound(ids.begin(), ids.end(), start);
+        const NodeId expected = it == ids.end() ? ids.front() : *it;
+        ASSERT_EQ(n->finger(p), std::optional<NodeId>(expected))
+            << "n=" << count << " node " << id.short_hex() << " power " << p;
+      }
+    }
+  }
+}
+
+// -- O(log n) lookup-hop growth ------------------------------------------------
+
+double mean_hops_at(std::size_t population, std::size_t lookups) {
+  sim::Simulator sim;
+  Rng rng(5);
+  NetworkConfig config;
+  config.run_maintenance = false;
+  ChordNetwork net(sim, rng, config);
+  net.bootstrap(population);
+  for (std::size_t i = 0; i < lookups; ++i) {
+    net.lookup(NodeId::hash_of_text("scale-" + std::to_string(i)));
+  }
+  EXPECT_EQ(net.lookup_stats().failures, 0u);
+  return net.lookup_stats().mean_hops();
+}
+
+TEST(ChordScale, MeanLookupHopsGrowLogarithmically) {
+  // log2(10000)/log2(1000) = 1.333: hops should grow by roughly that
+  // factor, and certainly not by the 10x of a linear scan.
+  const double hops_1k = mean_hops_at(1000, 400);
+  const double hops_10k = mean_hops_at(10000, 400);
+  EXPECT_GT(hops_1k, 3.0);
+  EXPECT_GT(hops_10k, hops_1k);  // larger ring, more hops
+  EXPECT_LT(hops_10k, hops_1k * 1.333 * 1.25);  // ~O(log n), with slack
+}
+
+// -- replica-repair timer cadence ---------------------------------------------
+
+TEST(ChordMaintenance, ReplicaRepairFiresAtItsOwnInterval) {
+  // Regression: the repair timer used to be re-armed from the stabilize
+  // callback, so repair fired at stabilize_interval cadence (~4x too often
+  // under the default 30s/120s intervals). With phases drawn uniformly in
+  // [0, interval) and each timer re-arming at its own fixed interval, a
+  // node fires repair floor((H - phase)/120) + 1 times by horizon H.
+  const std::size_t population = 16;
+  const double horizon = 1230.0;
+  sim::Simulator sim;
+  Rng rng(99);
+  NetworkConfig config;
+  config.run_maintenance = true;
+  config.stabilize_interval = 30.0;
+  config.replica_repair_interval = 120.0;
+  ChordNetwork net(sim, rng, config);
+  net.bootstrap(population);
+  sim.run_until(horizon);
+
+  // Per node: repair count is 10 or 11, stabilize count 41 or 42.
+  const MaintenanceStats& stats = net.maintenance_stats();
+  EXPECT_GE(stats.repair_rounds, population * 10);
+  EXPECT_LE(stats.repair_rounds, population * 11);
+  EXPECT_GE(stats.stabilize_rounds, population * 41);
+  EXPECT_LE(stats.stabilize_rounds, population * 42);
+  // The old bug would have produced ~stabilize-rate repairs (>= 39/node).
+  EXPECT_LT(stats.repair_rounds, stats.stabilize_rounds / 2);
+}
+
+TEST(ChordMaintenance, FastRejoinDoesNotDuplicateMaintenanceChains) {
+  // A kill-then-rejoin of the same id that beats the node's pending timers
+  // must not leave two concurrent stabilize/repair chains: the rejoin arms
+  // fresh timers, and the stale ones see a bumped incarnation and stop.
+  const std::size_t population = 8;
+  sim::Simulator sim;
+  Rng rng(123);
+  NetworkConfig config;
+  config.run_maintenance = true;
+  config.stabilize_interval = 30.0;
+  config.replica_repair_interval = 120.0;
+  ChordNetwork net(sim, rng, config);
+  net.bootstrap(population);
+
+  // Rejoin before virtual time advances: every bootstrap timer is still
+  // pending, so without the incarnation guard the victim would end up with
+  // doubled chains (~2x stabilize cadence for the whole horizon).
+  const NodeId victim = net.alive_ids().front();
+  net.kill_node(victim);
+  net.add_node_with_id(victim);
+
+  const double horizon = 630.0;
+  sim.run_until(horizon);
+  // Per live chain: 21 or 22 stabilize firings over 630s. One extra chain
+  // would add ~21 more, far past the upper bound.
+  const MaintenanceStats& stats = net.maintenance_stats();
+  EXPECT_GE(stats.stabilize_rounds, population * 21);
+  EXPECT_LE(stats.stabilize_rounds, population * 22);
+  EXPECT_GE(stats.repair_rounds, population * 5);
+  EXPECT_LE(stats.repair_rounds, population * 6);
+}
+
+// -- zero-copy payload plumbing ------------------------------------------------
+
+TEST(ZeroCopy, ReplicasShareOneBufferAcrossPutAndRepair) {
+  sim::Simulator sim;
+  Rng rng(21);
+  NetworkConfig config;
+  config.run_maintenance = false;
+  ChordNetwork net(sim, rng, config);
+  net.bootstrap(32);
+
+  const NodeId key = NodeId::hash_of_text("shared-buffer-key");
+  SharedBytes value = shared_bytes(bytes_of("zero-copy-payload"));
+  const std::uint8_t* raw = value->data();
+  ASSERT_TRUE(net.put(key, value));
+
+  std::size_t copies = 0;
+  for (const NodeId& id : net.alive_ids()) {
+    const SharedBytes stored = net.node(id)->storage().get(key);
+    if (stored == nullptr) continue;
+    ++copies;
+    EXPECT_EQ(stored->data(), raw) << "replica copied instead of sharing";
+  }
+  EXPECT_EQ(copies, net.config().replication_factor);
+
+  // Repair after the primary dies must still share the original buffer.
+  const LookupResult owner = net.lookup(key);
+  net.kill_node(owner.node);
+  net.run_maintenance_round();
+  const SharedBytes after = net.get(key);
+  ASSERT_TRUE(after != nullptr);
+  EXPECT_EQ(after->data(), raw);
+}
+
+TEST(ZeroCopy, MessageDeliveryViewsTheSenderBuffer) {
+  sim::Simulator sim;
+  Rng rng(22);
+  NetworkConfig config;
+  config.run_maintenance = false;
+  ChordNetwork net(sim, rng, config);
+  net.bootstrap(4);
+
+  const NodeId from = net.alive_ids()[0];
+  const NodeId to = net.alive_ids()[1];
+  SharedBytes payload = shared_bytes(bytes_of("view-not-copy"));
+  const std::uint8_t* raw = payload->data();
+  bool delivered = false;
+  net.set_message_handler(to, [&](const NodeId&, const NodeId&,
+                                  BytesView view) {
+    EXPECT_EQ(view.data(), raw);
+    delivered = true;
+  });
+  net.send_message(from, to, payload);
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(ZeroCopy, StoredHandleSurvivesNodeDeath) {
+  sim::Simulator sim;
+  Rng rng(23);
+  NetworkConfig config;
+  config.run_maintenance = false;
+  ChordNetwork net(sim, rng, config);
+  net.bootstrap(8);
+
+  const NodeId key = NodeId::hash_of_text("survivor-handle");
+  ASSERT_TRUE(net.put(key, bytes_of("still-readable")));
+  const SharedBytes handle = net.get(key);
+  ASSERT_TRUE(handle != nullptr);
+  // Kill every node: all storage is cleared, but the handle keeps the
+  // buffer alive (immutable sharing, no dangling views).
+  const std::vector<NodeId> ids = net.alive_ids();
+  for (const NodeId& id : ids) net.kill_node(id);
+  EXPECT_EQ(string_of(*handle), "still-readable");
+}
+
+// -- Kademlia closest_alive is the indexed query, not a scan -------------------
+
+TEST(KademliaScale, ClosestAliveMatchesBruteForceUnderChurn) {
+  sim::Simulator sim;
+  Rng rng(31);
+  KademliaConfig config;
+  config.run_maintenance = false;
+  KademliaNetwork net(sim, rng, config);
+  net.bootstrap(128);
+
+  Rng churn(77);
+  for (int round = 0; round < 200; ++round) {
+    if (churn.chance(0.5)) {
+      const auto& ids = net.alive_ids();
+      net.kill_node(ids[churn.index(ids.size())]);
+    } else {
+      net.add_node();
+    }
+    const NodeId key =
+        NodeId::hash_of_text("kad-probe-" + std::to_string(round));
+    std::vector<NodeId> live = net.alive_ids();
+    EXPECT_EQ(net.closest_alive(key), *brute_xor_closest(live, key));
+  }
+}
+
+}  // namespace
+}  // namespace emergence::dht
