@@ -25,9 +25,9 @@ int main(int argc, char** argv) {
                "mode\n"
             << "# mc: Monte-Carlo R of the protocol planned with the "
                "stochastic mode\n\n";
-  const emergence::bench::WallTimer timer;
-  emergence::bench::BenchJson json("ablation_alg1_modes", runs,
-                                   runner.threads());
+  emergence::bench::BenchReport json("ablation_alg1_modes", runs,
+                                     runner.threads(), "alg1-modes-ablation",
+                                     0xa1b1);
 
   for (std::size_t budget : {100u, 1000u, 10000u}) {
     FigureTable table(
@@ -58,6 +58,6 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     json.add_table(table);
   }
-  json.write(timer.seconds());
+  json.finish();
   return 0;
 }

@@ -25,9 +25,9 @@ int main(int argc, char** argv) {
                "(joint scheme) ==\n"
             << "# Monte-Carlo R under churn for both planners' geometries, "
             << runs << " runs per point.\n\n";
-  const emergence::bench::WallTimer timer;
-  emergence::bench::BenchJson json("ablation_churn_planning", runs,
-                                   runner.threads());
+  emergence::bench::BenchReport json("ablation_churn_planning", runs,
+                                     runner.threads(),
+                                     "churn-planning-ablation", 0xcafe);
 
   for (double alpha : {1.0, 3.0}) {
     FigureTable table("alpha = " + std::to_string(static_cast<int>(alpha)),
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     json.add_table(table);
   }
-  json.write(timer.seconds());
+  json.finish();
   std::cout << "# reading: churn-aware planning dominates at every p and "
                "fixes the p = 0 artifact\n"
             << "# (attack-only picks one holder there; churn kills it with "

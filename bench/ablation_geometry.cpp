@@ -25,8 +25,9 @@ int main() {
   std::cout << "# == Ablation: joint-scheme geometry trade-off at p = 0.3 ==\n"
             << "# Rr falls and Rd rises with k; the reverse with l; "
                "Rr + Rd > 1 throughout (Lemma 1).\n\n";
-  const emergence::bench::WallTimer timer;
-  emergence::bench::BenchJson json("ablation_geometry", 0, 1);
+  // Analytic-only sweep: no Monte-Carlo runs, so the root seed is moot (0).
+  emergence::bench::BenchReport json("ablation_geometry", 0, 1,
+                                     "geometry-ablation", 0);
 
   FigureTable k_table("sweep k (l = 40)", {"k", "Rr", "Rd", "sum"});
   for (std::size_t k = 1; k <= 12; ++k) {
@@ -47,6 +48,6 @@ int main() {
   }
   l_table.print(std::cout);
   json.add_table(l_table);
-  json.write(timer.seconds());
+  json.finish();
   return 0;
 }

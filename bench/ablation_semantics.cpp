@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
       << "# strict   : adversary holds every column (restore at ts; paper)\n"
       << "# early1/4 : restore >= 1 / >= 4 holding periods before tr\n"
       << "# suffix   : mean compromised-column suffix length (of 8)\n\n";
-  const emergence::bench::WallTimer timer;
+  emergence::bench::BenchReport json("ablation_semantics", runs,
+                                     runner.threads(), "semantics-ablation",
+                                     0xab1a);
 
   const PathShape shape{4, 8};
   FigureTable table("release-ahead semantics",
@@ -51,10 +53,8 @@ int main(int argc, char** argv) {
                    tally.mean_suffix()});
   }
   table.print(std::cout);
-  emergence::bench::BenchJson json("ablation_semantics", runs,
-                                   runner.threads());
   json.add_table(table);
-  json.write(timer.seconds());
+  json.finish();
   std::cout << "# reading: early1 is far likelier than strict -- the "
                "terminal holder's\n"
             << "# one-period head start is the price of the design; the "

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -14,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "emerge/experiment/table.hpp"
 #include "emerge/monte_carlo.hpp"
 #include "emerge/sweep.hpp"
@@ -109,11 +111,23 @@ class WallTimer {
 // -- machine-readable sweep artifacts ----------------------------------------
 //
 // Every bench driver writes one BENCH_<name>.json next to its stdout tables
-// so the bench trajectory can be tracked run-over-run. Schema:
-//   { "bench": str, "runs": int, "threads": int, "wall_seconds": num,
+// so the bench trajectory can be tracked run-over-run. Schema (versioned;
+// bump kBenchSchemaVersion on breaking changes):
+//   { "schema_version": int, "bench": str, "scenario": str,
+//     "root_seed": int, "runs": int, "threads": int, "wall_seconds": num,
 //     "extra": { str: num, ... },
 //     "tables": [ { "name": str, "caption": str,
 //                   "columns": [str, ...], "rows": [[num, ...], ...] } ] }
+//
+// "scenario" names what was run (a workload scenario, a figure, a pinned
+// matrix) and "root_seed" is the seed the whole artifact derives from, so
+// any tracked run can be replayed exactly. Drivers go through BenchReport
+// below — the one shared writer — instead of hand-rolling the
+// timer/json/write triple.
+
+/// Bumped whenever the artifact layout changes shape: 2 added
+/// schema_version itself, scenario and root_seed.
+inline constexpr int kBenchSchemaVersion = 2;
 
 inline void json_escape(std::ostream& os, const std::string& s) {
   os << '"';
@@ -153,6 +167,13 @@ class BenchJson {
     extra_.emplace_back(key, value);
   }
 
+  /// Names the scenario the artifact describes and the root seed it can be
+  /// replayed from (schema v2 fields; every driver sets them).
+  void set_context(std::string scenario, std::uint64_t root_seed) {
+    scenario_ = std::move(scenario);
+    root_seed_ = root_seed;
+  }
+
   /// Writes BENCH_<bench>.json into `dir` (default: the working directory,
   /// overridable with EMERGENCE_BENCH_JSON_DIR). Returns the path written.
   std::string write(double wall_seconds) const {
@@ -165,8 +186,12 @@ class BenchJson {
                 << " for writing; no JSON artifact emitted\n";
       return path;
     }
-    os << "{\n  \"bench\": ";
+    os << "{\n  \"schema_version\": " << kBenchSchemaVersion
+       << ",\n  \"bench\": ";
     json_escape(os, bench_);
+    os << ",\n  \"scenario\": ";
+    json_escape(os, scenario_);
+    os << ",\n  \"root_seed\": " << root_seed_;
     os << ",\n  \"runs\": " << runs_ << ",\n  \"threads\": " << threads_
        << ",\n  \"wall_seconds\": ";
     json_number(os, wall_seconds);
@@ -208,10 +233,59 @@ class BenchJson {
 
  private:
   std::string bench_;
+  std::string scenario_;
+  std::uint64_t root_seed_ = 0;
   std::size_t runs_;
   std::size_t threads_;
   std::vector<std::pair<std::string, double>> extra_;
   std::vector<core::FigureTable> tables_;
 };
+
+/// The one shared emission path for bench artifacts: owns the wall timer
+/// and the BenchJson, carries the schema-v2 context (scenario + root
+/// seed), and writes exactly once. Replaces the per-driver
+/// timer/json/write triple every bench/*.cpp used to hand-roll.
+class BenchReport {
+ public:
+  BenchReport(std::string bench, std::size_t runs, std::size_t threads,
+              std::string scenario, std::uint64_t root_seed)
+      : json_(std::move(bench), runs, threads) {
+    json_.set_context(std::move(scenario), root_seed);
+  }
+
+  void add_table(const core::FigureTable& table) { json_.add_table(table); }
+  void set_extra(const std::string& key, double value) {
+    json_.set_extra(key, value);
+  }
+  double elapsed_seconds() const { return timer_.seconds(); }
+
+  /// Writes the artifact; wall_seconds defaults to this report's lifetime.
+  std::string finish() { return json_.write(timer_.seconds()); }
+  std::string finish(double wall_seconds) { return json_.write(wall_seconds); }
+
+ private:
+  WallTimer timer_;
+  BenchJson json_;
+};
+
+/// Appends delivery-latency percentiles (p50/p99/max, in virtual seconds
+/// and in holding periods) to a table caption — the shared surfacing of
+/// the e2e/fleet latency histograms in BENCH artifacts.
+inline std::string latency_caption(const Histogram64& latency_us,
+                                   double holding_period) {
+  auto seconds = [](std::int64_t us) { return static_cast<double>(us) * 1e-6; };
+  const double p50 = seconds(latency_us.percentile(0.50));
+  const double p99 = seconds(latency_us.percentile(0.99));
+  const double max = seconds(latency_us.max());
+  std::string out = "latency_p50_s=" + std::to_string(p50) +
+                    ", latency_p99_s=" + std::to_string(p99) +
+                    ", latency_max_s=" + std::to_string(max);
+  if (holding_period > 0.0) {
+    out += ", latency_p50_periods=" + std::to_string(p50 / holding_period) +
+           ", latency_p99_periods=" + std::to_string(p99 / holding_period) +
+           ", latency_max_periods=" + std::to_string(max / holding_period);
+  }
+  return out;
+}
 
 }  // namespace emergence::bench

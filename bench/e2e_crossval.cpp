@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
             << "# columns: full-stack rate, stat-engine rate, difference, "
                "allowed bound, pass.\n\n";
 
-  const emergence::bench::WallTimer timer;
-  emergence::bench::BenchJson json("e2e_crossval", runs, sweeps.threads());
+  emergence::bench::BenchReport json("e2e_crossval", runs, sweeps.threads(),
+                                     "crossval-matrix", 0xE2E0C0DE);
 
   std::size_t failures = 0;
   std::size_t comparisons = 0;
@@ -79,12 +79,17 @@ int main(int argc, char** argv) {
                 << " bound=" << m.bound << (m.pass ? "" : "  << DIVERGENT")
                 << "\n";
     }
+    const double th = scenario.emerging_time /
+                      static_cast<double>(scenario.session_shape().l);
     caption += "; holders_stuck=" +
                std::to_string(result.full_stack.holders_stuck) +
                ", churn_deaths=" +
                std::to_string(result.full_stack.churn_deaths) +
                ", max_delivery_offset_ns=" +
-               std::to_string(result.full_stack.max_delivery_offset_ns);
+               std::to_string(result.full_stack.max_delivery_offset_ns) +
+               "; " +
+               emergence::bench::latency_caption(result.full_stack.latency_us,
+                                                 th);
     table.set_caption(caption);
     json.add_table(table);
   }
@@ -92,7 +97,7 @@ int main(int argc, char** argv) {
   json.set_extra("comparisons", static_cast<double>(comparisons));
   json.set_extra("failures", static_cast<double>(failures));
   json.set_extra("population", static_cast<double>(population));
-  json.write(timer.seconds());
+  json.finish();
 
   if (failures > 0) {
     std::cerr << "\ne2e_crossval: " << failures << " of " << comparisons

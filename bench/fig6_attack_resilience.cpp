@@ -50,13 +50,13 @@ int main(int argc, char** argv) {
   SweepRunner runner = emergence::bench::make_runner(argc, argv);
   emergence::bench::print_setup(
       "Fig. 6(a)/(c): attack resilience vs malicious rate", runs);
-  const emergence::bench::WallTimer timer;
-  emergence::bench::BenchJson json("fig6_attack_resilience", runs,
-                                   runner.threads());
+  emergence::bench::BenchReport json("fig6_attack_resilience", runs,
+                                     runner.threads(), "fig6-attack-resilience",
+                                     0xF16A);
   json.add_table(
       run_panel(runner, "Fig 6(a): attack resilience, N = 10000", 10000, runs));
   json.add_table(
       run_panel(runner, "Fig 6(c): attack resilience, N = 100", 100, runs));
-  json.write(timer.seconds());
+  json.finish();
   return 0;
 }

@@ -42,10 +42,11 @@ int main(int argc, char** argv) {
   std::cout << "# == Fig. 6(b)/(d): required nodes vs malicious rate ==\n"
             << "# planner: cheapest geometry within 1e-4 of the best "
                "min(Rr, Rd) under the budget.\n\n";
-  const emergence::bench::WallTimer timer;
-  emergence::bench::BenchJson json("fig6_required_nodes", 0, 1);
+  // Planner-only sweep: no Monte-Carlo runs, so the root seed is moot (0).
+  emergence::bench::BenchReport json("fig6_required_nodes", 0, 1,
+                                     "fig6-required-nodes", 0);
   json.add_table(run_panel("Fig 6(b): required nodes, N = 10000", 10000));
   json.add_table(run_panel("Fig 6(d): required nodes, N = 100", 100));
-  json.write(timer.seconds());
+  json.finish();
   return 0;
 }

@@ -53,12 +53,12 @@ int main(int argc, char** argv) {
   SweepRunner runner = emergence::bench::make_runner(argc, argv);
   emergence::bench::print_setup(
       "Fig. 7: churn resilience, alpha = T / node lifetime", runs);
-  const emergence::bench::WallTimer timer;
-  emergence::bench::BenchJson json("fig7_churn_resilience", runs,
-                                   runner.threads());
+  emergence::bench::BenchReport json("fig7_churn_resilience", runs,
+                                     runner.threads(), "fig7-churn-resilience",
+                                     0xF170);
   for (double alpha : {1.0, 2.0, 3.0, 5.0}) {
     json.add_table(run_panel(runner, alpha, runs));
   }
-  json.write(timer.seconds());
+  json.finish();
   return 0;
 }

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   SweepRunner runner = emergence::bench::make_runner(argc, argv);
   emergence::bench::print_setup(
       "Fig. 8: key-share routing cost (node budget) sweep, alpha = 3", runs);
-  const emergence::bench::WallTimer timer;
+  emergence::bench::BenchReport json("fig8_share_cost", runs, runner.threads(),
+                                     "fig8-share-cost", 0xF180);
 
   const std::vector<std::size_t> budgets = {100, 1000, 5000, 10000};
   FigureTable table("Fig 8: share-scheme resilience vs node budget",
@@ -47,8 +48,7 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
-  emergence::bench::BenchJson json("fig8_share_cost", runs, runner.threads());
   json.add_table(table);
-  json.write(timer.seconds());
+  json.finish();
   return 0;
 }

@@ -242,8 +242,10 @@ int main(int argc, char** argv) {
             << scenarios[0].sessions << " sessions through tr over "
             << scenarios[0].horizon << " virtual s).\n\n";
 
-  const emergence::bench::WallTimer timer;
-  emergence::bench::BenchJson json("perf", scenarios.size(), 1);
+  emergence::bench::BenchReport json(
+      "perf", scenarios.size(), 1,
+      population > 0 ? scenarios[0].name : "pinned-perf-set",
+      0x9e3779b97f4a7c15ULL);
   core::FigureTable table(
       "perf_suite",
       {"population", "chord", "bootstrap_s", "lookups_s", "kv_s", "live_s",
@@ -279,7 +281,7 @@ int main(int argc, char** argv) {
   json.add_table(table);
   json.set_extra("scenarios", static_cast<double>(scenarios.size()));
   json.set_extra("all_pass", all_pass ? 1.0 : 0.0);
-  json.write(timer.seconds());
+  json.finish();
 
   if (!all_pass) {
     std::cout << "\nperf_suite: FAILED (sanity or budget gate)\n";

@@ -1,0 +1,297 @@
+// Service-scale traffic generation over the workload subsystem.
+//
+// Drives named ScenarioSpecs through workload::run_scenario — open-loop
+// session fleets (arrival processes + pluggable lifetime churn + optional
+// coalitions) against one shared world per scenario world — and emits
+// BENCH_service.json with throughput, delivery-latency percentiles and
+// per-scenario release/drop rates. The acceptance configuration pushes
+// >= 500k sessions through a 100k-node Chord world on one core:
+//
+//   service_load --scenario=metro-diurnal --population=100000
+//                --sessions=500000     (one command line)
+//
+// Sanity gates make the driver CI-runnable (the workload-smoke job runs
+// every named scenario at reduced scale): the whole session budget must
+// start and be reaped, every delivered session must land exactly at tr
+// (p50 == p99 == max == T), spot-checked receiver decrypts must match the
+// sent payload, and --check-invariance re-runs each scenario at 1 and 8
+// threads and gates bit-identical tally fingerprints. Any violation (or a
+// malformed --scenario spec) exits nonzero with an error.hpp diagnostic.
+//
+// Flags:
+//   --scenario=NAME[:key=value,...]  scenario to run (parse_scenario syntax)
+//   --list-scenarios                 print the registry and exit 0
+//   --matrix                         run every named scenario
+//   --population=N --sessions=N --worlds=N --seed=N   scale overrides
+//   --threads=N                      sweep pool size (never changes tallies)
+//   --max-seconds=S                  wall-clock gate per scenario (0 = off)
+//   --check-invariance               1-vs-8-thread bit-identity gate
+//   --progress                       heartbeat lines on long runs
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "workload/scenario.hpp"
+#include "workload/session_fleet.hpp"
+
+namespace {
+
+using namespace emergence;
+using workload::FleetTally;
+using workload::ScenarioSpec;
+
+struct Options {
+  std::string scenario;
+  bool list = false;
+  bool matrix = false;
+  bool check_invariance = false;
+  bool progress = false;
+  std::size_t population = 0;  // 0 = scenario default
+  std::size_t sessions = 0;
+  std::size_t worlds = 0;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  double max_seconds = 0.0;  // 0 = no wall gate
+};
+
+Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scenario=", 0) == 0) {
+      o.scenario = arg.substr(11);
+    } else if (arg == "--list-scenarios") {
+      o.list = true;
+    } else if (arg == "--matrix") {
+      o.matrix = true;
+    } else if (arg == "--check-invariance") {
+      o.check_invariance = true;
+    } else if (arg == "--progress") {
+      o.progress = true;
+    } else if (arg.rfind("--population=", 0) == 0) {
+      o.population = bench::parse_count(arg.substr(13), 0, "--population");
+    } else if (arg.rfind("--sessions=", 0) == 0) {
+      o.sessions = bench::parse_count(arg.substr(11), 0, "--sessions");
+    } else if (arg.rfind("--worlds=", 0) == 0) {
+      o.worlds = bench::parse_count(arg.substr(9), 0, "--worlds");
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      o.seed = bench::parse_count(arg.substr(7), 0, "--seed");
+      o.seed_set = true;
+    } else if (arg.rfind("--max-seconds=", 0) == 0) {
+      try {
+        o.max_seconds = std::stod(arg.substr(14));
+      } catch (...) {
+        std::cerr << "# warning: ignoring malformed " << arg << "\n";
+      }
+    } else if (arg.rfind("--threads=", 0) != 0 && arg != "--quick") {
+      std::cerr << "# warning: ignoring unknown flag '" << arg << "'\n";
+    }
+  }
+  return o;
+}
+
+void apply_scale(ScenarioSpec& spec, const Options& o) {
+  if (o.population > 0) spec.population = o.population;
+  if (o.sessions > 0) spec.sessions = o.sessions;
+  if (o.worlds > 0) spec.worlds = o.worlds;
+  if (o.seed_set) spec.seed = o.seed;
+  spec.validate();
+}
+
+void list_scenarios() {
+  std::cout << "# named workload scenarios (service_load --scenario=<name>)\n";
+  for (const ScenarioSpec& s : workload::scenario_registry()) {
+    std::cout << "  " << s.name << "\n    " << s.summary << "\n    backend="
+              << core::to_string(s.backend)
+              << " scheme=" << core::to_string(s.scheme)
+              << " arrival=" << workload::to_string(s.arrival.kind)
+              << " rate=" << s.arrival.rate
+              << " lifetime=" << workload::to_string(s.lifetime.kind)
+              << " T=" << s.emerging_time << " alpha=" << s.churn_alpha
+              << " p=" << s.malicious_p
+              << " population=" << s.population << " sessions=" << s.sessions
+              << "\n";
+  }
+}
+
+struct ScenarioOutcome {
+  FleetTally tally;
+  double wall_seconds = 0.0;
+  bool pass = true;
+  std::string failure;
+};
+
+void fail(ScenarioOutcome& out, const std::string& why) {
+  out.pass = false;
+  if (!out.failure.empty()) out.failure += "; ";
+  out.failure += why;
+}
+
+ScenarioOutcome run_one(const ScenarioSpec& spec, const Options& o,
+                        core::SweepRunner& sweeps) {
+  ScenarioOutcome out;
+  workload::FleetProgress progress;
+  if (o.progress) {
+    progress = [&spec](double now, std::uint64_t reaped,
+                       std::uint64_t started) {
+      std::cout << "#   " << spec.name << " t=" << now << "vs reaped=" << reaped
+                << "/" << spec.sessions << " started=" << started << "\n";
+    };
+  }
+
+  const bench::WallTimer timer;
+  out.tally = workload::run_scenario(sweeps, spec, progress);
+  out.wall_seconds = timer.seconds();
+  const FleetTally& t = out.tally;
+
+  // -- sanity gates ------------------------------------------------------------
+  if (t.sessions_started != spec.sessions)
+    fail(out, "did not start the full session budget");
+  if (t.trials() != spec.sessions)
+    fail(out, "reaped trials != session budget");
+  if (t.sessions_delivered + t.tally.drop.successes() != t.sessions_started)
+    fail(out, "delivered + dropped != started");
+  if (t.delivered_on_time != t.sessions_delivered)
+    fail(out, "late delivery (timing contract violated)");
+  if (t.payload_mismatches != 0) fail(out, "receiver decrypt mismatch");
+  if (t.sessions_delivered > 0) {
+    const std::int64_t expect_us = std::llround(spec.emerging_time * 1e6);
+    if (t.latency_us.percentile(0.5) != expect_us ||
+        t.latency_us.max() != expect_us) {
+      fail(out, "latency percentiles off T");
+    }
+  }
+  // Covert holders forward everything; without churn every session delivers.
+  if (!spec.churn && spec.attack_mode == core::AttackMode::kCovert &&
+      t.sessions_delivered != t.sessions_started) {
+    fail(out, "drops in a churn-free covert scenario");
+  }
+  if (o.max_seconds > 0.0 && out.wall_seconds > o.max_seconds)
+    fail(out, "wall-clock budget exceeded");
+
+  if (o.check_invariance) {
+    // Tallies must be a pure function of the spec: re-run on pools of 1 and
+    // 8 workers and require bit-identical fingerprints.
+    core::SweepRunner one(core::SweepOptions{1, 64});
+    core::SweepRunner eight(core::SweepOptions{8, 64});
+    const std::uint64_t f1 = workload::run_scenario(one, spec).fingerprint();
+    const std::uint64_t f8 = workload::run_scenario(eight, spec).fingerprint();
+    if (f1 != t.fingerprint() || f8 != t.fingerprint())
+      fail(out, "tallies not thread-count invariant");
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_options(argc, argv);
+  if (o.list) {
+    list_scenarios();
+    return 0;
+  }
+
+  std::vector<ScenarioSpec> specs;
+  try {
+    if (o.matrix) {
+      for (ScenarioSpec spec : workload::scenario_registry()) {
+        apply_scale(spec, o);
+        specs.push_back(std::move(spec));
+      }
+    } else {
+      ScenarioSpec spec = workload::parse_scenario(
+          o.scenario.empty() ? "poisson-open" : o.scenario);
+      apply_scale(spec, o);
+      specs.push_back(std::move(spec));
+    }
+  } catch (const Error& e) {
+    std::cerr << "service_load: invalid scenario: " << e.what() << "\n";
+    return 2;
+  }
+
+  core::SweepRunner sweeps = bench::make_runner(argc, argv);
+  std::cout << "# == service_load: open-loop session fleets over shared "
+               "worlds ==\n"
+            << "# " << specs.size() << " scenario(s), pool of "
+            << sweeps.threads() << " thread(s); tallies are bit-identical at "
+               "any thread count.\n\n";
+
+  bench::BenchReport json("service", specs.size(), sweeps.threads(),
+                          o.matrix ? "matrix" : specs[0].name, specs[0].seed);
+  core::FigureTable table(
+      "service_load",
+      {"idx", "population", "sessions", "worlds", "wall_s", "sessions_per_s",
+       "horizon_vs", "latency_p50_s", "latency_p99_s", "latency_max_s",
+       "release_rate", "drop_rate", "deaths", "transients", "peak_live",
+       "arena_slots", "events", "pass"});
+  std::string caption = "scenarios:";
+
+  bool all_pass = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ScenarioSpec& spec = specs[i];
+    std::cout << "# running " << spec.name << " (population "
+              << spec.population << ", " << spec.sessions << " sessions, "
+              << spec.worlds << " world(s))\n";
+    ScenarioOutcome out;
+    try {
+      out = run_one(spec, o, sweeps);
+    } catch (const Error& e) {
+      out.pass = false;
+      out.failure = e.what();
+    }
+    const FleetTally& t = out.tally;
+    all_pass = all_pass && out.pass;
+    caption += " " + std::to_string(i) + "=" + spec.name;
+
+    const double throughput =
+        out.wall_seconds > 0.0
+            ? static_cast<double>(t.sessions_started) / out.wall_seconds
+            : 0.0;
+    auto us_to_s = [](std::int64_t us) {
+      return static_cast<double>(us) * 1e-6;
+    };
+    table.add_row({static_cast<double>(i),
+                   static_cast<double>(spec.population),
+                   static_cast<double>(spec.sessions),
+                   static_cast<double>(spec.worlds), out.wall_seconds,
+                   throughput, t.horizon,
+                   us_to_s(t.latency_us.percentile(0.5)),
+                   us_to_s(t.latency_us.percentile(0.99)),
+                   us_to_s(t.latency_us.max()), t.release_rate(),
+                   t.drop_rate(), static_cast<double>(t.churn_deaths),
+                   static_cast<double>(t.churn_transients),
+                   static_cast<double>(t.peak_live_sessions),
+                   static_cast<double>(t.arena_slots),
+                   static_cast<double>(t.events_executed),
+                   out.pass ? 1.0 : 0.0});
+
+    std::cout << spec.name << ": " << t.sessions_started << " sessions in "
+              << out.wall_seconds << "s wall (" << throughput
+              << "/s), horizon " << t.horizon << "vs, "
+              << t.sessions_delivered << " delivered ("
+              << bench::latency_caption(t.latency_us, spec.holding_period())
+              << "), release " << t.release_rate() << ", drop "
+              << t.drop_rate() << ", churn " << t.churn_deaths << "d/"
+              << t.churn_transients << "t, peak live "
+              << t.peak_live_sessions << " in " << t.arena_slots
+              << " slots, " << t.events_executed << " events, fingerprint "
+              << t.fingerprint() << (out.pass ? "" : "  << FAILED: " + out.failure)
+              << "\n\n";
+  }
+
+  table.set_caption(caption);
+  json.add_table(table);
+  json.set_extra("all_pass", all_pass ? 1.0 : 0.0);
+  json.set_extra("check_invariance", o.check_invariance ? 1.0 : 0.0);
+  json.finish();
+
+  if (!all_pass) {
+    std::cerr << "\nservice_load: FAILED (sanity, invariance or budget "
+                 "gate)\n";
+    return 1;
+  }
+  std::cout << "service_load: all scenarios passed\n";
+  return 0;
+}

@@ -105,13 +105,14 @@ int main(int argc, char** argv) {
             << "# speedup:  " << speedup << "x\n"
             << "# bit-identical: " << (identical ? "yes" : "NO") << "\n";
 
-  emergence::bench::BenchJson json("sweep", runs, threads);
+  emergence::bench::BenchReport json("sweep", runs, threads, "sweep-speedup",
+                                     0x5eed);
   json.set_extra("serial_seconds", serial_seconds);
   json.set_extra("parallel_seconds", parallel_seconds);
   json.set_extra("speedup", speedup);
   json.set_extra("bit_identical", identical ? 1.0 : 0.0);
   json.add_table(table);
-  json.write(serial_seconds + parallel_seconds);
+  json.finish(serial_seconds + parallel_seconds);
 
   return identical ? 0 : 1;
 }

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 
 namespace emergence {
 
@@ -56,6 +58,34 @@ class RateStat {
  private:
   std::size_t trials_ = 0;
   std::size_t successes_ = 0;
+};
+
+/// Exact histogram over 64-bit integer keys (e.g. latencies quantized to
+/// microseconds). Counters only, so merge() is associative and commutative
+/// and any sharding of the same samples reproduces the serial histogram
+/// bit-identically — the property that lets the sweep/fleet layers carry
+/// latency percentiles without breaking thread-count invariance. Bins are
+/// sparse (a service scenario sees a handful of distinct delivery offsets),
+/// so an ordered map costs O(distinct keys), not O(range).
+class Histogram64 {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1);
+  void merge(const Histogram64& other);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::int64_t min() const;  ///< smallest key (0 when empty)
+  std::int64_t max() const;  ///< largest key (0 when empty)
+  /// Nearest-rank percentile: the smallest key whose cumulative count
+  /// reaches ceil(q * count). q is clamped to [0, 1]; 0 when empty.
+  std::int64_t percentile(double q) const;
+  double mean() const;
+
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t count_ = 0;
 };
 
 }  // namespace emergence

@@ -324,6 +324,31 @@ SharedBytes ChordNetwork::get(const NodeId& key) {
   return nullptr;
 }
 
+std::size_t ChordNetwork::erase(const NodeId& key) {
+  const LookupResult result = lookup(key);
+  if (!result.ok) return 0;
+  // Same walk as get(): the responsible node plus enough live successors to
+  // cover replicas stranded behind interloper joins.
+  std::size_t erased = 0;
+  NodeId target = result.node;
+  const std::size_t max_visits =
+      config_.replication_factor + config_.successor_list_size;
+  for (std::size_t visit = 0; visit < max_visits; ++visit) {
+    ChordNode* t = live_node(target);
+    if (t == nullptr) break;
+    if (t->storage().erase(key)) ++erased;
+    NodeId next = t->successor();
+    if (next == t->id()) {
+      const std::optional<NodeId> step = live_ring_.successor_of(t->id());
+      if (!step.has_value()) break;  // genuinely alone
+      next = *step;
+    }
+    if (next == result.node) break;  // wrapped around
+    target = next;
+  }
+  return erased;
+}
+
 bool ChordNetwork::store_on(const NodeId& id, const NodeId& key,
                             SharedBytes value) {
   require(value != nullptr, "ChordNetwork::store_on: null value");

@@ -101,6 +101,7 @@ class ChordNetwork final : public Network {
 
   /// Fetches from the responsible node, falling back to replicas.
   SharedBytes get(const NodeId& key) override;
+  std::size_t erase(const NodeId& key) override;
 
   // -- node-addressed storage --------------------------------------------------
 

@@ -3,17 +3,23 @@
 namespace emergence::dht {
 
 ChurnDriver::ChurnDriver(Network& network, ChurnConfig config)
-    : network_(network), config_(config) {}
+    : network_(network),
+      config_(std::move(config)),
+      lifetime_(config_.lifetime
+                    ? config_.lifetime
+                    : std::make_shared<workload::ExponentialLifetime>(
+                          config_.mean_lifetime)) {}
 
 void ChurnDriver::start() {
   running_ = true;
   // Residual lifetime of a node already in the network is again Exp(λ)
-  // (memorylessness), so sampling fresh lifetimes at start is exact.
+  // (memorylessness), so sampling fresh lifetimes at start is exact for the
+  // default law; see the header note for heavy-tailed models.
   for (const NodeId& id : network_.alive_ids()) schedule_outage(id);
 }
 
 void ChurnDriver::schedule_outage(const NodeId& id) {
-  const double lifetime = network_.rng().exponential(config_.mean_lifetime);
+  const double lifetime = lifetime_->sample(network_.rng());
   network_.simulator().schedule_in(lifetime, [this, id]() {
     if (!running_) return;
     handle_outage(id);

@@ -7,13 +7,23 @@
 // DHT's arrival process does. Transient unavailability (leave-and-rejoin
 // without data loss) is also supported; the paper mentions it as the
 // short-term face of churn but evaluates death only, so it defaults off.
+//
+// The lifetime law is pluggable: the driver samples from a
+// workload::LifetimeModel (Weibull/Pareto heavy tails, trace-driven
+// empirical CDFs, ...). When no model is configured it builds the
+// exponential model from `mean_lifetime`, which draws through exactly the
+// Rng::exponential call this driver historically made inline — the default
+// configuration replays the historical churn event sequence bit-for-bit at
+// pinned seeds (tests/test_churn_models.cpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "dht/network.hpp"
 #include "sim/simulator.hpp"
+#include "workload/lifetime.hpp"
 
 namespace emergence::dht {
 
@@ -25,16 +35,27 @@ struct ChurnConfig {
   /// id after `mean_downtime`) rather than a death. 0 reproduces the paper.
   double transient_fraction = 0.0;
   double mean_downtime = 120.0;  ///< seconds, for transient outages
+  /// Lifetime law. Null means Exp(mean_lifetime) — the paper's model and
+  /// the historical behavior of this driver. A non-null model overrides
+  /// `mean_lifetime` entirely (the model carries its own mean).
+  std::shared_ptr<const workload::LifetimeModel> lifetime;
 };
 
-/// Drives exponential node churn over any DHT backend (Chord or Kademlia)
-/// through the Network topology-mutation contract.
+/// Drives node churn over any DHT backend (Chord or Kademlia) through the
+/// Network topology-mutation contract, sampling lifetimes from the
+/// configured LifetimeModel.
 class ChurnDriver {
  public:
   ChurnDriver(Network& network, ChurnConfig config);
 
   /// Samples a residual lifetime for every live node and schedules its
   /// first outage. Call once after the network is bootstrapped.
+  ///
+  /// Residual-lifetime caveat: for the exponential law, sampling a fresh
+  /// lifetime at start is exact (memorylessness). Heavy-tailed laws are not
+  /// memoryless, so a freshly sampled lifetime models a population observed
+  /// at its joint arrival instant, not a stationary one — fine for the
+  /// fleet scenarios, which measure sessions, not node-age distributions.
   void start();
 
   /// Stops injecting new churn events (pending ones become no-ops).
@@ -43,6 +64,7 @@ class ChurnDriver {
   std::uint64_t deaths() const { return deaths_; }
   std::uint64_t transient_outages() const { return transients_; }
   std::uint64_t replacements() const { return replacements_; }
+  const workload::LifetimeModel& lifetime_model() const { return *lifetime_; }
 
   /// Observer invoked as (dead_node, replacement_or_nullptr-id) when a death
   /// is processed; the experiment layer hooks exposure tracking here.
@@ -54,6 +76,7 @@ class ChurnDriver {
 
   Network& network_;
   ChurnConfig config_;
+  std::shared_ptr<const workload::LifetimeModel> lifetime_;
   bool running_ = false;
   std::uint64_t deaths_ = 0;
   std::uint64_t transients_ = 0;

@@ -369,6 +369,21 @@ SharedBytes KademliaNetwork::get(const NodeId& key) {
   return nullptr;
 }
 
+std::size_t KademliaNetwork::erase(const NodeId& key) {
+  const LookupResult result = lookup(key);
+  if (!result.ok) return 0;
+  KademliaNode* owner = live_node(result.node);
+  if (owner == nullptr) return 0;
+  // Same neighborhood put() replicated into and get() reads from.
+  std::size_t erased = owner->storage().erase(key) ? 1 : 0;
+  for (const NodeId& id : owner->closest_contacts(key, config_.bucket_size)) {
+    KademliaNode* n = live_node(id);
+    if (n == nullptr) continue;
+    if (n->storage().erase(key)) ++erased;
+  }
+  return erased;
+}
+
 bool KademliaNetwork::is_alive(const NodeId& id) const {
   const KademliaNode* n = node(id);
   return n != nullptr && n->alive();

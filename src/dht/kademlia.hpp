@@ -122,6 +122,7 @@ class KademliaNetwork final : public Network {
   bool put(const NodeId& key, SharedBytes value) override;
   using Network::put;
   SharedBytes get(const NodeId& key) override;
+  std::size_t erase(const NodeId& key) override;
   bool is_alive(const NodeId& id) const override;
   bool store_on(const NodeId& id, const NodeId& key,
                 SharedBytes value) override;

@@ -68,6 +68,13 @@ class Network {
   virtual bool put(const NodeId& key, SharedBytes value) = 0;
   /// The stored value (possibly a replica), or nullptr when unreachable.
   virtual SharedBytes get(const NodeId& key) = 0;
+  /// Removes the key from the responsible node and its reachable replica
+  /// set (the same walk get() reads from); returns how many copies were
+  /// erased. Copies stranded on nodes the walk cannot reach (e.g. stale
+  /// replicas past a partition of joins) may survive until their holder
+  /// dies — callers use this for storage hygiene (retiring finished
+  /// sessions), not for security guarantees.
+  virtual std::size_t erase(const NodeId& key) = 0;
 
   // -- node-addressed storage (protocol key assignment / retrieval) -----------
   /// True when `node` exists and is alive.

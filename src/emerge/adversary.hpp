@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -51,6 +52,9 @@ struct LayerKeyId {
   }
 };
 
+/// Coalition membership set, shareable between Adversary instances.
+using Coalition = std::unordered_set<dht::NodeId, dht::NodeIdHash>;
+
 /// Adversary coalition state and attack engine.
 class Adversary {
  public:
@@ -61,17 +65,27 @@ class Adversary {
     std::size_t onion_slots_k = 1;
     std::size_t share_threshold_m = 1;  ///< Shamir threshold (share scheme)
     crypto::CipherBackend backend = crypto::CipherBackend::kChaCha20;
+    /// Shared coalition membership. Null (the default) gives this adversary
+    /// a private set — the historical behavior. Session fleets pass one
+    /// shared set so that marking a coalition of tens of thousands of
+    /// nodes is paid once per world, not once per session; the per-session
+    /// *knowledge* (keys, shares, packages) stays private either way,
+    /// because concurrent sessions reuse LayerKeyId coordinates.
+    std::shared_ptr<Coalition> coalition = nullptr;
   };
 
-  explicit Adversary(Config config) : config_(config) {}
+  explicit Adversary(Config config)
+      : config_(std::move(config)),
+        malicious_(config_.coalition ? config_.coalition
+                                     : std::make_shared<Coalition>()) {}
 
   // -- coalition membership --------------------------------------------------
 
-  void mark_malicious(const dht::NodeId& node) { malicious_.insert(node); }
+  void mark_malicious(const dht::NodeId& node) { malicious_->insert(node); }
   bool is_malicious(const dht::NodeId& node) const {
-    return malicious_.count(node) > 0;
+    return malicious_->count(node) > 0;
   }
-  std::size_t coalition_size() const { return malicious_.size(); }
+  std::size_t coalition_size() const { return malicious_->size(); }
   AttackMode mode() const { return config_.mode; }
   void set_mode(AttackMode mode) { config_.mode = mode; }
 
@@ -106,7 +120,7 @@ class Adversary {
   bool try_reconstruct_keys();
 
   Config config_;
-  std::unordered_set<dht::NodeId, dht::NodeIdHash> malicious_;
+  std::shared_ptr<Coalition> malicious_;
 
   std::map<LayerKeyId, crypto::SymmetricKey> keys_;
   std::map<LayerKeyId, std::vector<crypto::Share>> shares_;

@@ -39,6 +39,7 @@ std::size_t E2eScenario::resolved_threshold() const {
 
 void E2eTally::merge(const E2eTally& other) {
   tally.merge(other.tally);
+  latency_us.merge(other.latency_us);
   sessions_delivered += other.sessions_delivered;
   delivered_on_time += other.delivered_on_time;
   max_delivery_offset_ns =
@@ -70,6 +71,37 @@ std::size_t E2eRunner::restore_margin_periods(double earliest,
   const long long rounded = std::llround(periods);
   if (rounded <= 0) return 0;
   return std::min<std::size_t>(static_cast<std::size_t>(rounded), path_length);
+}
+
+SessionOutcome reduce_session_outcome(const TimedReleaseSession& session,
+                                      const Adversary* adversary,
+                                      SchemeKind kind, double holding_period,
+                                      std::size_t path_length) {
+  SessionOutcome out;
+  out.delivered = session.secret_released();
+  out.stat.drop_success = !out.delivered;
+  std::size_t margin = 0;
+  if (adversary != nullptr) {
+    const auto earliest = adversary->earliest_secret_time();
+    if (earliest.has_value()) {
+      margin = E2eRunner::restore_margin_periods(
+          *earliest, session.release_time(), holding_period, path_length);
+    }
+  }
+  out.stat.compromised_suffix = margin;
+  // The strict release rule (header comment): any-column cascade for the
+  // share scheme, every-column possession for the pre-assigned schemes.
+  out.stat.release_success =
+      kind == SchemeKind::kShare ? margin >= 2 : margin >= path_length;
+  if (out.delivered) {
+    const double first = *session.first_delivery_time();
+    const std::int64_t offset_ns =
+        std::llround((first - session.release_time()) * 1e9);
+    out.abs_offset_ns = offset_ns < 0 ? -offset_ns : offset_ns;
+    out.on_time = out.abs_offset_ns <= E2eRunner::kDeliveryToleranceNs;
+    out.latency_us = std::llround((first - session.start_time()) * 1e6);
+  }
+  return out;
 }
 
 namespace {
@@ -216,34 +248,16 @@ void run_world(const E2eScenario& s, std::size_t run_index, E2eTally& out,
     const TimedReleaseSession& session = *sessions[i];
     const SessionReport& report = session.report();
 
-    StatRunOutcome outcome;
-    const bool delivered = session.secret_released();
-    outcome.drop_success = !delivered;
-    std::size_t margin = 0;
-    if (!adversaries.empty()) {
-      const auto earliest = adversaries[i]->earliest_secret_time();
-      if (earliest.has_value()) {
-        margin = E2eRunner::restore_margin_periods(
-            *earliest, session.release_time(), th, shape.l);
-      }
-    }
-    outcome.compromised_suffix = margin;
-    // Strict release event, matched to the stat engine: the share scheme's
-    // cascade fires from any column (margin >= 2 excludes the pure
-    // terminal-slot leak); the pre-assigned-key schemes need every column,
-    // i.e. a restore essentially at ts (margin == l).
-    outcome.release_success =
-        s.kind == SchemeKind::kShare ? margin >= 2 : margin >= shape.l;
-    out.tally.add(outcome);
-
-    if (delivered) {
+    const SessionOutcome outcome = reduce_session_outcome(
+        session, adversaries.empty() ? nullptr : adversaries[i].get(), s.kind,
+        th, shape.l);
+    out.tally.add(outcome.stat);
+    if (outcome.delivered) {
       ++out.sessions_delivered;
-      const double offset =
-          *session.first_delivery_time() - session.release_time();
-      const std::int64_t offset_ns = std::llround(offset * 1e9);
-      const std::int64_t abs_ns = offset_ns < 0 ? -offset_ns : offset_ns;
-      if (abs_ns <= E2eRunner::kDeliveryToleranceNs) ++out.delivered_on_time;
-      out.max_delivery_offset_ns = std::max(out.max_delivery_offset_ns, abs_ns);
+      if (outcome.on_time) ++out.delivered_on_time;
+      out.max_delivery_offset_ns =
+          std::max(out.max_delivery_offset_ns, outcome.abs_offset_ns);
+      out.latency_us.add(outcome.latency_us);
     }
     out.packages_sent += report.packages_sent;
     out.packages_delivered += report.packages_delivered;

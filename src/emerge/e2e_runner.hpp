@@ -82,6 +82,12 @@ struct E2eTally {
   RunTally tally;
 
   std::uint64_t sessions_delivered = 0;
+  /// Delivery latency first_delivery - ts per delivered session, quantized
+  /// to integer microseconds of virtual time (exact merge). The timing
+  /// contract pins every sample to exactly T, so the percentiles this
+  /// carries (surfaced as p50/p99/max in seconds and holding periods in
+  /// the BENCH artifacts) are themselves a regression gate.
+  Histogram64 latency_us;
   /// Sessions whose first delivery landed within kDeliveryToleranceNs of
   /// tr. The protocol's timing contract (protocol.hpp holding_period())
   /// promises exact delivery, so this must equal sessions_delivered.
@@ -126,6 +132,32 @@ struct CrossValResult {
 
   bool pass() const;
 };
+
+class TimedReleaseSession;
+
+/// One finished session reduced to the shared outcome vocabulary: the
+/// stat-engine trial (strict release / drop / restore margin) plus the
+/// timing and latency facts. reduce_session_outcome() is the single home
+/// of the scheme-dependent release rule and the delivery tolerance — the
+/// e2e runner and the workload fleet both reduce through it, so the "two
+/// engines, one truth" semantics cannot silently fork between them.
+struct SessionOutcome {
+  StatRunOutcome stat;
+  bool delivered = false;
+  bool on_time = false;            ///< within kDeliveryToleranceNs of tr
+  std::int64_t abs_offset_ns = 0;  ///< |first_delivery - tr|, delivered only
+  std::int64_t latency_us = 0;     ///< first_delivery - ts, delivered only
+};
+
+/// Reduces a driven-past-tr session (and its adversary, may be null).
+/// Strict release event, matched to the stat engine: the share scheme's
+/// cascade fires from any column (margin >= 2 excludes the pure
+/// terminal-slot leak); the pre-assigned-key schemes need every column,
+/// i.e. a restore essentially at ts (margin == path_length).
+SessionOutcome reduce_session_outcome(const TimedReleaseSession& session,
+                                      const Adversary* adversary,
+                                      SchemeKind kind, double holding_period,
+                                      std::size_t path_length);
 
 /// Full-stack Monte-Carlo evaluator. Shares a SweepRunner's worker pool (and
 /// therefore its determinism rules and evaluation mutex).

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/serial.hpp"
+#include "emerge/session_dispatcher.hpp"
 
 namespace emergence::core {
 namespace {
@@ -50,15 +51,26 @@ DecodedPackage decode_package(BytesView payload) {
 
 }  // namespace
 
+std::optional<std::uint64_t> peek_session_nonce(BytesView payload) {
+  // Lives next to encode_package/decode_package so the wire prefix (u8
+  // kMsgPackage, u64 nonce) has exactly one home.
+  if (payload.size() < 9 || payload[0] != kMsgPackage) return std::nullopt;
+  BinaryReader r(payload);
+  r.u8();
+  return r.u64();
+}
+
 TimedReleaseSession::TimedReleaseSession(dht::Network& network,
                                          cloud::CloudStore& cloud,
                                          Adversary* adversary,
                                          SessionConfig config,
-                                         std::uint64_t seed)
+                                         std::uint64_t seed,
+                                         SessionDispatcher* dispatcher)
     : network_(network),
       cloud_(cloud),
       adversary_(adversary),
       config_(config),
+      dispatcher_(dispatcher),
       drbg_(seed) {
   require(config_.shape.k >= 1 && config_.shape.l >= 1,
           "TimedReleaseSession: degenerate path shape");
@@ -72,6 +84,28 @@ TimedReleaseSession::TimedReleaseSession(dht::Network& network,
   require(holding_period() > config_.assembly_delay +
                                  network.max_message_latency() * 4,
           "TimedReleaseSession: holding period too short for the network");
+}
+
+TimedReleaseSession::~TimedReleaseSession() {
+  // Deregister without network cleanup: a world being torn down wholesale
+  // does not need erase traffic, only the dispatcher's pointers must go.
+  if (dispatcher_ == nullptr || retired_) return;
+  for (const auto& [storage_key, layer_id] : storage_key_to_layer_) {
+    (void)layer_id;
+    dispatcher_->deregister_storage_key(storage_key);
+  }
+  if (sent_) dispatcher_->deregister_session(session_nonce_);
+}
+
+void TimedReleaseSession::retire() {
+  if (retired_ || !sent_) return;
+  retired_ = true;
+  for (const auto& [storage_key, layer_id] : storage_key_to_layer_) {
+    (void)layer_id;
+    network_.erase(storage_key);
+    if (dispatcher_ != nullptr) dispatcher_->deregister_storage_key(storage_key);
+  }
+  if (dispatcher_ != nullptr) dispatcher_->deregister_session(session_nonce_);
 }
 
 LayerKeyId TimedReleaseSession::key_id_for(std::uint16_t column,
@@ -102,6 +136,8 @@ cloud::BlobId TimedReleaseSession::send(BytesView message,
   sent_ = true;
   start_time_ = network_.simulator().now();
   session_nonce_ = drbg_.u64();
+  if (dispatcher_ != nullptr)
+    dispatcher_->register_session(session_nonce_, this);
 
   // 1. Encrypt the message and hand the ciphertext to the cloud.
   secret_key_ = drbg_.bytes(32);
@@ -209,22 +245,20 @@ void TimedReleaseSession::assign_keys_at_start() {
   const std::size_t last_preassigned_column =
       config_.kind == SchemeKind::kShare ? 1 : config_.shape.l;
 
-  // Chain the store observer so replica repairs of stored layer keys also
-  // count as exposure (paper §III-D: the replacement node learns the key).
-  dht::StoreObserver previous = network_.store_observer();
-  network_.set_store_observer(
-      [this, previous](const dht::NodeId& node, const dht::NodeId& key,
-                       BytesView value) {
-        if (previous) previous(node, key, value);
-        auto it = storage_key_to_layer_.find(key);
-        if (it == storage_key_to_layer_.end()) return;
-        if (adversary_ != nullptr && adversary_->is_malicious(node) &&
-            value.size() == 32) {
-          adversary_->observe_key(it->second,
-                                  crypto::SymmetricKey::from_bytes(value),
-                                  network_.simulator().now());
-        }
-      });
+  // Replica repairs of stored layer keys must also count as exposure
+  // (paper §III-D: the replacement node learns the key). With a dispatcher
+  // the per-key registration below routes those observations here in O(1);
+  // without one, chain the network-wide store observer (historical path —
+  // bounded session counts only).
+  if (dispatcher_ == nullptr) {
+    dht::StoreObserver previous = network_.store_observer();
+    network_.set_store_observer(
+        [this, previous](const dht::NodeId& node, const dht::NodeId& key,
+                         BytesView value) {
+          if (previous) previous(node, key, value);
+          observe_store(node, key, value);
+        });
+  }
 
   for (std::size_t c = 1; c <= last_preassigned_column; ++c) {
     const std::size_t holders = layout_.holders_in_column(c);
@@ -247,6 +281,8 @@ void TimedReleaseSession::assign_keys_at_start() {
       // same 160-bit point.
       const dht::NodeId storage_key = layout_.ring_points[c - 1][h];
       storage_key_to_layer_[storage_key] = id;
+      if (dispatcher_ != nullptr)
+        dispatcher_->register_storage_key(storage_key, this);
 
       if (!network_.store_on(holder, storage_key, layer_key(id).to_bytes()))
         continue;  // holder died before assignment
@@ -255,12 +291,41 @@ void TimedReleaseSession::assign_keys_at_start() {
   }
 }
 
+void TimedReleaseSession::handle_package_message(const dht::NodeId& to,
+                                                 BytesView payload) {
+  DecodedPackage pkg;
+  try {
+    pkg = decode_package(payload);
+  } catch (const Error&) {
+    ++report_.malformed_packages;
+    return;
+  }
+  if (pkg.session_nonce != session_nonce_) return;  // dispatcher misroute
+  on_package(to, pkg.column, pkg.holder_index, pkg.onion,
+             std::move(pkg.shares));
+}
+
+void TimedReleaseSession::observe_store(const dht::NodeId& node,
+                                        const dht::NodeId& key,
+                                        BytesView value) {
+  auto it = storage_key_to_layer_.find(key);
+  if (it == storage_key_to_layer_.end()) return;
+  if (adversary_ != nullptr && adversary_->is_malicious(node) &&
+      value.size() == 32) {
+    adversary_->observe_key(it->second, crypto::SymmetricKey::from_bytes(value),
+                            network_.simulator().now());
+  }
+}
+
 void TimedReleaseSession::register_holder_handlers() {
   // Packages are addressed to ring positions, so the receiving node may be
   // any current ring member (including churn replacements); a network-wide
   // default handler dispatches them to this session. Multiple sessions
   // coexist on one network: packages carry a session nonce, and packages
-  // for other sessions chain to the previously registered handler.
+  // for other sessions chain to the previously registered handler. A
+  // dispatcher replaces the chain entirely — it already owns the default
+  // handler and routes by nonce.
+  if (dispatcher_ != nullptr) return;
   chained_handler_ = network_.default_message_handler();
   dht::MessageHandler previous = chained_handler_;
   network_.set_default_message_handler(

@@ -33,6 +33,8 @@
 
 namespace emergence::core {
 
+class SessionDispatcher;
+
 /// Static protocol parameters for one session.
 struct SessionConfig {
   SchemeKind kind = SchemeKind::kJoint;
@@ -62,9 +64,30 @@ class TimedReleaseSession {
  public:
   /// `adversary` may be nullptr (no attack). The session registers message
   /// handlers on holder nodes; it must outlive the simulation.
+  ///
+  /// `dispatcher` selects how network events reach the session. Null (the
+  /// historical behavior) chains the network's default handler and store
+  /// observer — fine for a bounded number of sessions per world. A
+  /// dispatcher routes by nonce / storage key in O(1) and supports
+  /// retire() + destruction of finished sessions, which is what lets a
+  /// fleet recycle session slots against one long-lived world
+  /// (session_dispatcher.hpp). The dispatcher must outlive the session.
   TimedReleaseSession(dht::Network& network, cloud::CloudStore& cloud,
                       Adversary* adversary, SessionConfig config,
-                      std::uint64_t seed);
+                      std::uint64_t seed,
+                      SessionDispatcher* dispatcher = nullptr);
+  ~TimedReleaseSession();
+
+  TimedReleaseSession(const TimedReleaseSession&) = delete;
+  TimedReleaseSession& operator=(const TimedReleaseSession&) = delete;
+
+  /// Ends the session's tenancy on the network: erases its pre-assigned
+  /// layer keys from DHT storage (so long-lived worlds don't accumulate
+  /// dead keys into replica-maintenance scans) and deregisters from the
+  /// dispatcher (late packages become counted strays). Call once the
+  /// session is past tr and its events have drained; the fleet does this
+  /// before recycling the slot. Idempotent.
+  void retire();
 
   /// Encrypts and uploads `message`, builds paths/onions and launches the
   /// protocol at the current virtual time ts. Returns the cloud blob id.
@@ -111,6 +134,8 @@ class TimedReleaseSession {
   const SessionConfig& config() const { return config_; }
 
  private:
+  friend class SessionDispatcher;
+
   struct HolderState {
     Bytes onion;                        ///< first received package
     std::vector<crypto::Share> shares;  ///< gathered shares for my key
@@ -130,6 +155,11 @@ class TimedReleaseSession {
   void assign_keys_at_start();
   void launch_column1_packages();
   void register_holder_handlers();
+  /// Dispatcher entry points: a package addressed to this session's nonce,
+  /// and a store observation for one of its registered storage keys.
+  void handle_package_message(const dht::NodeId& to, BytesView payload);
+  void observe_store(const dht::NodeId& node, const dht::NodeId& key,
+                     BytesView value);
   void on_package(const dht::NodeId& node, std::uint16_t column,
                   std::uint16_t holder_index, BytesView onion,
                   std::vector<crypto::Share> shares);
@@ -142,6 +172,8 @@ class TimedReleaseSession {
   cloud::CloudStore& cloud_;
   Adversary* adversary_;
   SessionConfig config_;
+  SessionDispatcher* dispatcher_;
+  bool retired_ = false;
   crypto::Drbg drbg_;
 
   PathLayout layout_;

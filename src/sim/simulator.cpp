@@ -36,6 +36,11 @@ bool Simulator::skip_cancelled_head() {
   return false;
 }
 
+std::optional<Time> Simulator::next_event_time() {
+  if (!skip_cancelled_head()) return std::nullopt;
+  return queue_.top().at;
+}
+
 bool Simulator::fire_next() {
   if (!skip_cancelled_head()) return false;
   Entry e = queue_.top();

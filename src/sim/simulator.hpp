@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -41,6 +42,14 @@ class Simulator {
 
   /// Executes at most `max_events` pending events; returns how many ran.
   std::size_t step(std::size_t max_events);
+
+  /// Timestamp of the earliest live pending event, or nullopt when none.
+  /// Purges cancelled tombstones off the queue head as a side effect (the
+  /// same purge run()/run_until() would do), hence non-const. Drivers that
+  /// interleave virtual time with wall-clock work (the workload fleet's
+  /// chunked progress loop) use this to skip idle gaps instead of spinning
+  /// run_until over empty stretches.
+  std::optional<Time> next_event_time();
 
   Time now() const { return now_; }
   std::size_t pending() const { return live_.size(); }

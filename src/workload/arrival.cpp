@@ -1,0 +1,116 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace emergence::workload {
+
+DeterministicArrivals::DeterministicArrivals(double rate) : rate_(rate) {
+  require(rate > 0.0, "DeterministicArrivals: rate must be positive");
+}
+
+double DeterministicArrivals::next_after(double t, Rng& rng) const {
+  (void)rng;  // closed-form: no draws, so the stream stays untouched
+  return t + 1.0 / rate_;
+}
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+  require(rate > 0.0, "PoissonArrivals: rate must be positive");
+}
+
+double PoissonArrivals::next_after(double t, Rng& rng) const {
+  return t + rng.exponential(1.0 / rate_);
+}
+
+DiurnalArrivals::DiurnalArrivals(double base_rate, double amplitude,
+                                 double period)
+    : base_rate_(base_rate), amplitude_(amplitude), period_(period) {
+  require(base_rate > 0.0, "DiurnalArrivals: base rate must be positive");
+  require(amplitude >= 0.0 && amplitude < 1.0,
+          "DiurnalArrivals: amplitude must lie in [0, 1)");
+  require(period > 0.0, "DiurnalArrivals: period must be positive");
+}
+
+double DiurnalArrivals::rate_at(double t) const {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return base_rate_ * (1.0 + amplitude_ * std::sin(kTwoPi * t / period_));
+}
+
+double DiurnalArrivals::next_after(double t, Rng& rng) const {
+  // Lewis-Shedler thinning against the peak rate. The acceptance loop
+  // terminates with probability 1 (the acceptance ratio is bounded below
+  // by (1-amplitude)/(1+amplitude) > 0).
+  const double peak = base_rate_ * (1.0 + amplitude_);
+  double candidate = t;
+  for (;;) {
+    candidate += rng.exponential(1.0 / peak);
+    if (rng.real() * peak <= rate_at(candidate)) return candidate;
+  }
+}
+
+FlashCrowdArrivals::FlashCrowdArrivals(double base_rate, double burst_rate,
+                                       double burst_start, double burst_length,
+                                       double burst_period)
+    : base_rate_(base_rate),
+      burst_rate_(burst_rate),
+      burst_start_(burst_start),
+      burst_length_(burst_length),
+      burst_period_(burst_period) {
+  require(base_rate > 0.0, "FlashCrowdArrivals: base rate must be positive");
+  require(burst_rate >= base_rate,
+          "FlashCrowdArrivals: burst rate must be >= base rate");
+  require(burst_start >= 0.0,
+          "FlashCrowdArrivals: burst start must be non-negative");
+  require(burst_length > 0.0,
+          "FlashCrowdArrivals: burst length must be positive");
+  require(burst_period >= burst_length,
+          "FlashCrowdArrivals: burst period must be >= burst length");
+}
+
+double FlashCrowdArrivals::rate_at(double t) const {
+  if (t < burst_start_) return base_rate_;
+  const double phase = std::fmod(t - burst_start_, burst_period_);
+  return phase < burst_length_ ? burst_rate_ : base_rate_;
+}
+
+double FlashCrowdArrivals::mean_rate() const {
+  const double duty = burst_length_ / burst_period_;
+  return base_rate_ + (burst_rate_ - base_rate_) * duty;
+}
+
+double FlashCrowdArrivals::next_after(double t, Rng& rng) const {
+  // Thinning against the burst rate; acceptance ratio >= base/burst > 0.
+  double candidate = t;
+  for (;;) {
+    candidate += rng.exponential(1.0 / burst_rate_);
+    if (rng.real() * burst_rate_ <= rate_at(candidate)) return candidate;
+  }
+}
+
+std::string to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kDeterministic: return "deterministic";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kDiurnal: return "diurnal";
+    case ArrivalKind::kFlashCrowd: return "flash-crowd";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<const ArrivalProcess> ArrivalSpec::build() const {
+  switch (kind) {
+    case ArrivalKind::kDeterministic:
+      return std::make_shared<DeterministicArrivals>(rate);
+    case ArrivalKind::kPoisson:
+      return std::make_shared<PoissonArrivals>(rate);
+    case ArrivalKind::kDiurnal:
+      return std::make_shared<DiurnalArrivals>(rate, amplitude, period);
+    case ArrivalKind::kFlashCrowd:
+      return std::make_shared<FlashCrowdArrivals>(rate, burst_rate, burst_start,
+                                                  burst_length, burst_period);
+  }
+  throw PreconditionError("ArrivalSpec: unknown arrival kind");
+}
+
+}  // namespace emergence::workload

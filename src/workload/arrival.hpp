@@ -1,0 +1,134 @@
+// Open-loop session arrival processes for traffic generation.
+//
+// A workload scenario schedules TimedReleaseSession setups on the
+// Simulator clock by asking an ArrivalProcess for the next arrival instant
+// after the previous one. Processes are stateless between calls — all
+// randomness flows through the caller's Rng stream (the fleet dedicates a
+// Rng::fork sub-stream to arrivals), so the arrival sequence is a pure
+// function of (spec, seed) and the sharded fleet stays bit-identical at
+// any thread count.
+//
+// Time-varying intensities (diurnal modulation, flash crowds) sample by
+// Lewis-Shedler thinning: draw candidates from a homogeneous process at
+// the peak rate and accept each with probability rate(t)/peak — exact for
+// any bounded intensity, and deterministic given the Rng stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace emergence::workload {
+
+/// A point process on the virtual-time axis.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// The next arrival instant strictly after `t`, drawing from `rng`.
+  virtual double next_after(double t, Rng& rng) const = 0;
+
+  /// Long-run average intensity in sessions per virtual second.
+  virtual double mean_rate() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Evenly spaced arrivals at a fixed rate (no randomness): closed-form
+/// load, useful for calibration and for exact-throughput scenarios.
+class DeterministicArrivals final : public ArrivalProcess {
+ public:
+  explicit DeterministicArrivals(double rate);
+
+  double next_after(double t, Rng& rng) const override;
+  double mean_rate() const override { return rate_; }
+  std::string name() const override { return "deterministic"; }
+
+ private:
+  double rate_;
+};
+
+/// Homogeneous Poisson process: i.i.d. Exp(1/rate) inter-arrivals.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate);
+
+  double next_after(double t, Rng& rng) const override;
+  double mean_rate() const override { return rate_; }
+  std::string name() const override { return "poisson"; }
+
+ private:
+  double rate_;
+};
+
+/// Non-homogeneous Poisson with sinusoidal day/night modulation:
+/// rate(t) = base * (1 + amplitude * sin(2*pi*t / period)), sampled by
+/// thinning against the peak rate base * (1 + amplitude).
+class DiurnalArrivals final : public ArrivalProcess {
+ public:
+  /// amplitude in [0, 1): the trough rate stays positive.
+  DiurnalArrivals(double base_rate, double amplitude, double period);
+
+  double next_after(double t, Rng& rng) const override;
+  double mean_rate() const override { return base_rate_; }
+  double rate_at(double t) const;
+  std::string name() const override { return "diurnal"; }
+
+ private:
+  double base_rate_;
+  double amplitude_;
+  double period_;
+};
+
+/// Piecewise-constant intensity with periodic bursts: baseline rate
+/// everywhere, burst rate inside [start + i*period, start + i*period + len)
+/// windows. Models flash crowds (a release event, a news spike) recurring
+/// on a cadence; a single burst is period = +infinity in spirit — pass a
+/// period far beyond the horizon.
+class FlashCrowdArrivals final : public ArrivalProcess {
+ public:
+  FlashCrowdArrivals(double base_rate, double burst_rate, double burst_start,
+                     double burst_length, double burst_period);
+
+  double next_after(double t, Rng& rng) const override;
+  double mean_rate() const override;
+  double rate_at(double t) const;
+  std::string name() const override { return "flash-crowd"; }
+
+ private:
+  double base_rate_;
+  double burst_rate_;
+  double burst_start_;
+  double burst_length_;
+  double burst_period_;
+};
+
+/// Which process a scenario asks for.
+enum class ArrivalKind : std::uint8_t {
+  kDeterministic,
+  kPoisson,
+  kDiurnal,
+  kFlashCrowd,
+};
+
+std::string to_string(ArrivalKind kind);
+
+/// Declarative arrival description, buildable into a process. Fields
+/// beyond `rate` only apply to the kinds that read them.
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate = 1.0;            ///< base intensity, sessions per second
+  double amplitude = 0.5;       ///< diurnal: modulation depth in [0, 1)
+  double period = 1200.0;       ///< diurnal: virtual "day" length
+  double burst_rate = 10.0;     ///< flash crowd: intensity inside bursts
+  double burst_start = 60.0;    ///< flash crowd: first burst onset
+  double burst_length = 30.0;   ///< flash crowd: burst duration
+  double burst_period = 600.0;  ///< flash crowd: burst cadence
+
+  /// Throws PreconditionError on invalid parameters.
+  std::shared_ptr<const ArrivalProcess> build() const;
+};
+
+}  // namespace emergence::workload

@@ -1,0 +1,138 @@
+#include "workload/lifetime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace emergence::workload {
+
+ExponentialLifetime::ExponentialLifetime(double mean) : mean_(mean) {
+  require(mean > 0.0, "ExponentialLifetime: mean must be positive");
+}
+
+double ExponentialLifetime::sample(Rng& rng) const {
+  // Exactly the draw ChurnDriver used to make inline; the bit-for-bit
+  // default-behavior regression in tests/test_churn_models.cpp rests on it.
+  return rng.exponential(mean_);
+}
+
+WeibullLifetime::WeibullLifetime(double shape, double mean)
+    : shape_(shape), mean_(mean) {
+  require(shape > 0.0, "WeibullLifetime: shape must be positive");
+  require(mean > 0.0, "WeibullLifetime: mean must be positive");
+  scale_ = mean / std::tgamma(1.0 + 1.0 / shape);
+}
+
+double WeibullLifetime::sample(Rng& rng) const {
+  const double u = rng.real();  // in [0, 1): log1p(-u) is finite
+  return scale_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+}
+
+ParetoLifetime::ParetoLifetime(double alpha, double mean)
+    : alpha_(alpha), mean_(mean) {
+  require(alpha > 1.0, "ParetoLifetime: alpha must exceed 1 (finite mean)");
+  require(mean > 0.0, "ParetoLifetime: mean must be positive");
+  scale_ = mean * (alpha - 1.0);
+}
+
+double ParetoLifetime::sample(Rng& rng) const {
+  const double u = rng.real();  // in [0, 1): 1-u > 0
+  return scale_ * (std::pow(1.0 - u, -1.0 / alpha_) - 1.0);
+}
+
+namespace {
+
+/// Mean of the piecewise-linear CDF: each knot interval contributes
+/// (q_{i+1} - q_i) of probability mass spread uniformly over
+/// [v_i, v_{i+1}], so its mean contribution is the interval midpoint.
+double piecewise_linear_mean(const std::vector<CdfPoint>& table) {
+  double mean = 0.0;
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    mean += (table[i].quantile - table[i - 1].quantile) *
+            (table[i].value + table[i - 1].value) * 0.5;
+  }
+  return mean;
+}
+
+}  // namespace
+
+TraceLifetime::TraceLifetime(std::vector<CdfPoint> table, double mean,
+                             std::string trace_name)
+    : table_(std::move(table)), mean_(mean), name_(std::move(trace_name)) {
+  require(mean > 0.0, "TraceLifetime: mean must be positive");
+  require(table_.size() >= 2, "TraceLifetime: need at least two CDF knots");
+  require(table_.front().quantile == 0.0,
+          "TraceLifetime: CDF must start at quantile 0");
+  require(table_.back().quantile == 1.0,
+          "TraceLifetime: CDF must end at quantile 1");
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    require(table_[i].value >= 0.0,
+            "TraceLifetime: CDF values must be non-negative");
+    if (i == 0) continue;
+    require(table_[i].quantile > table_[i - 1].quantile,
+            "TraceLifetime: CDF quantiles must be strictly increasing");
+    require(table_[i].value >= table_[i - 1].value,
+            "TraceLifetime: CDF values must be non-decreasing");
+  }
+  const double raw_mean = piecewise_linear_mean(table_);
+  require(raw_mean > 0.0, "TraceLifetime: CDF mean must be positive");
+  const double scale = mean / raw_mean;
+  for (CdfPoint& point : table_) point.value *= scale;
+}
+
+double TraceLifetime::sample(Rng& rng) const {
+  const double u = rng.real();
+  // First knot with quantile >= u; u < 1 and the last quantile is 1, so a
+  // successor always exists.
+  const auto it = std::lower_bound(
+      table_.begin(), table_.end(), u,
+      [](const CdfPoint& p, double q) { return p.quantile < q; });
+  if (it == table_.begin()) return it->value;
+  const CdfPoint& hi = *it;
+  const CdfPoint& lo = *(it - 1);
+  const double t = (u - lo.quantile) / (hi.quantile - lo.quantile);
+  return lo.value + t * (hi.value - lo.value);
+}
+
+const std::vector<CdfPoint>& bundled_session_trace() {
+  // Shaped like measured Kad/Gnutella session-time CDFs: a short-session
+  // bulk (half the sessions are gone within ~0.25x the mean) and a long
+  // tail (the top 2% stay ~8-30x the mean). Values are in unit-mean
+  // seconds; TraceLifetime rescales them to the scenario's target mean.
+  static const std::vector<CdfPoint> kTrace = {
+      {0.00, 0.000}, {0.05, 0.016}, {0.10, 0.034}, {0.20, 0.075},
+      {0.30, 0.125}, {0.40, 0.190}, {0.50, 0.270}, {0.60, 0.380},
+      {0.70, 0.540}, {0.80, 0.800}, {0.88, 1.200}, {0.93, 1.800},
+      {0.96, 2.700}, {0.98, 4.200}, {0.99, 6.500}, {0.998, 13.00},
+      {1.00, 30.00},
+  };
+  return kTrace;
+}
+
+std::string to_string(LifetimeKind kind) {
+  switch (kind) {
+    case LifetimeKind::kExponential: return "exponential";
+    case LifetimeKind::kWeibull: return "weibull";
+    case LifetimeKind::kPareto: return "pareto";
+    case LifetimeKind::kTrace: return "trace";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<const LifetimeModel> LifetimeSpec::build(double mean) const {
+  require(mean > 0.0, "LifetimeSpec: mean lifetime must be positive");
+  switch (kind) {
+    case LifetimeKind::kExponential:
+      return std::make_shared<ExponentialLifetime>(mean);
+    case LifetimeKind::kWeibull:
+      return std::make_shared<WeibullLifetime>(shape, mean);
+    case LifetimeKind::kPareto:
+      return std::make_shared<ParetoLifetime>(shape, mean);
+    case LifetimeKind::kTrace:
+      return std::make_shared<TraceLifetime>(bundled_session_trace(), mean);
+  }
+  throw PreconditionError("LifetimeSpec: unknown lifetime kind");
+}
+
+}  // namespace emergence::workload

@@ -1,0 +1,407 @@
+#include "workload/scenario.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace emergence::workload {
+
+std::size_t ScenarioSpec::malicious_count() const {
+  return static_cast<std::size_t>(malicious_p *
+                                  static_cast<double>(population));
+}
+
+std::size_t ScenarioSpec::sessions_in_world(std::size_t index) const {
+  const std::size_t base = sessions / worlds;
+  const std::size_t remainder = sessions % worlds;
+  return base + (index < remainder ? 1 : 0);
+}
+
+void ScenarioSpec::validate() const {
+  require(!name.empty(), "ScenarioSpec: name must not be empty");
+  require(sessions >= 1, "ScenarioSpec '" + name + "': sessions must be >= 1");
+  require(worlds >= 1, "ScenarioSpec '" + name + "': worlds must be >= 1");
+  require(worlds <= sessions,
+          "ScenarioSpec '" + name + "': worlds must not exceed sessions");
+  require(emerging_time > 0.0,
+          "ScenarioSpec '" + name + "': emerging time T must be positive");
+  require(shape.k >= 1 && shape.l >= 1,
+          "ScenarioSpec '" + name + "': degenerate path shape");
+  // TimedReleaseSession's timing contract needs th > assembly_delay +
+  // 4 * max message latency (1.0 + 4 * 0.1 at the default network config).
+  require(holding_period() > 1.5,
+          "ScenarioSpec '" + name +
+              "': holding period T/l too short for the network timing "
+              "contract (need > 1.5 virtual seconds)");
+  require(malicious_p >= 0.0 && malicious_p <= 1.0,
+          "ScenarioSpec '" + name + "': p must lie in [0, 1]");
+  require(transient_fraction >= 0.0 && transient_fraction < 1.0,
+          "ScenarioSpec '" + name + "': transient fraction must lie in [0, 1)");
+  if (churn) {
+    require(churn_alpha > 0.0,
+            "ScenarioSpec '" + name + "': churn alpha must be positive");
+  }
+
+  // Same per-column holder demand as build_path_layout (path.cpp): the
+  // share scheme staffs carriers_n per non-terminal column, k elsewhere.
+  std::size_t holders_needed = 0;
+  const bool share = scheme == core::SchemeKind::kShare;
+  for (std::size_t c = 1; c <= shape.l; ++c) {
+    holders_needed += (share && c < shape.l) ? resolved_carriers() : shape.k;
+  }
+  require(population > holders_needed + 1,
+          "ScenarioSpec '" + name +
+              "': population too small for distinct holders");
+  if (share) {
+    require(resolved_carriers() >= shape.k,
+            "ScenarioSpec '" + name + "': share scheme needs carriers >= k");
+    require(resolved_threshold() >= 1 &&
+                resolved_threshold() <= resolved_carriers(),
+            "ScenarioSpec '" + name + "': invalid share threshold");
+  }
+  if (scheme == core::SchemeKind::kCentralized) {
+    require(shape.k == 1 && shape.l == 1,
+            "ScenarioSpec '" + name + "': centralized scheme is a 1x1 layout");
+  }
+
+  // Delegate the law-specific checks (rates, shapes, amplitudes).
+  (void)arrival.build();
+  (void)lifetime.build(churn ? mean_lifetime() : emerging_time);
+}
+
+namespace {
+
+ScenarioSpec base_scenario(std::string name, std::string summary) {
+  ScenarioSpec s;
+  s.name = std::move(name);
+  s.summary = std::move(summary);
+  return s;
+}
+
+std::vector<ScenarioSpec> build_registry() {
+  std::vector<ScenarioSpec> registry;
+
+  {
+    ScenarioSpec s = base_scenario(
+        "steady-trickle", "evenly spaced arrivals, exponential churn");
+    s.arrival.kind = ArrivalKind::kDeterministic;
+    s.arrival.rate = 20.0;
+    registry.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base_scenario(
+        "poisson-open", "memoryless open-loop arrivals, exponential churn");
+    s.arrival.kind = ArrivalKind::kPoisson;
+    s.arrival.rate = 50.0;
+    registry.push_back(std::move(s));
+  }
+  {
+    // The acceptance scenario: day/night-modulated metropolitan load with
+    // the heavy-tailed session times measured on deployed DHTs.
+    ScenarioSpec s = base_scenario(
+        "metro-diurnal",
+        "day/night-modulated load over Weibull heavy-tail churn");
+    s.arrival.kind = ArrivalKind::kDiurnal;
+    s.arrival.rate = 250.0;
+    s.arrival.amplitude = 0.6;
+    s.arrival.period = 900.0;
+    s.lifetime.kind = LifetimeKind::kWeibull;
+    s.lifetime.shape = 0.6;
+    s.churn_alpha = 0.006;
+    registry.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base_scenario(
+        "flash-crowd", "20x arrival bursts on a cadence (release-day spikes)");
+    s.arrival.kind = ArrivalKind::kFlashCrowd;
+    s.arrival.rate = 20.0;
+    s.arrival.burst_rate = 400.0;
+    s.arrival.burst_start = 60.0;
+    s.arrival.burst_length = 30.0;
+    s.arrival.burst_period = 600.0;
+    registry.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base_scenario(
+        "heavy-tail-churn", "Pareto(1.5) node lifetimes: many brief cameos");
+    s.arrival.kind = ArrivalKind::kPoisson;
+    s.arrival.rate = 50.0;
+    s.lifetime.kind = LifetimeKind::kPareto;
+    s.lifetime.shape = 1.5;
+    s.churn_alpha = 0.02;
+    registry.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base_scenario(
+        "trace-replay", "lifetimes from the bundled measured-CDF trace");
+    s.arrival.kind = ArrivalKind::kPoisson;
+    s.arrival.rate = 50.0;
+    s.lifetime.kind = LifetimeKind::kTrace;
+    registry.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base_scenario(
+        "kademlia-steady", "the Kademlia backend under steady Poisson load");
+    s.backend = core::DhtBackend::kKademlia;
+    s.arrival.kind = ArrivalKind::kPoisson;
+    s.arrival.rate = 30.0;
+    s.population = 512;
+    registry.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base_scenario(
+        "covert-mix", "20% covert coalition exfiltrating under live churn");
+    s.arrival.kind = ArrivalKind::kPoisson;
+    s.arrival.rate = 40.0;
+    s.malicious_p = 0.2;
+    registry.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base_scenario(
+        "dropping-storm", "flash crowds against a 20% dropping coalition");
+    s.arrival.kind = ArrivalKind::kFlashCrowd;
+    s.arrival.rate = 20.0;
+    s.arrival.burst_rate = 300.0;
+    s.arrival.burst_start = 30.0;
+    s.arrival.burst_length = 20.0;
+    s.arrival.burst_period = 300.0;
+    s.malicious_p = 0.2;
+    s.attack_mode = core::AttackMode::kDropping;
+    registry.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base_scenario(
+        "share-threshold", "key-share routing (n=4, m=2) vs a 20% coalition");
+    s.scheme = core::SchemeKind::kShare;
+    s.carriers_n = 4;
+    s.threshold_m = 2;
+    s.arrival.kind = ArrivalKind::kPoisson;
+    s.arrival.rate = 30.0;
+    s.malicious_p = 0.2;
+    registry.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base_scenario(
+        "calm-transients", "half the outages are leave-and-rejoin, not death");
+    s.arrival.kind = ArrivalKind::kDeterministic;
+    s.arrival.rate = 10.0;
+    s.transient_fraction = 0.5;
+    s.churn_alpha = 0.02;
+    registry.push_back(std::move(s));
+  }
+
+  for (const ScenarioSpec& s : registry) s.validate();
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& scenario_registry() {
+  static const std::vector<ScenarioSpec> kRegistry = build_registry();
+  return kRegistry;
+}
+
+ScenarioSpec find_scenario(const std::string& name) {
+  for (const ScenarioSpec& s : scenario_registry()) {
+    if (s.name == name) return s;
+  }
+  std::string known;
+  for (const ScenarioSpec& s : scenario_registry()) {
+    if (!known.empty()) known += ", ";
+    known += s.name;
+  }
+  throw PreconditionError("unknown scenario '" + name + "' (known: " + known +
+                          ")");
+}
+
+namespace {
+
+double parse_real(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    throw PreconditionError("scenario override '" + key + "=" + value +
+                            "': not a number");
+  }
+  return parsed;
+}
+
+std::size_t parse_size(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+      value.find('-') != std::string::npos) {
+    throw PreconditionError("scenario override '" + key + "=" + value +
+                            "': not a non-negative integer");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+std::uint64_t parse_seed(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 0);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+      value.find('-') != std::string::npos) {
+    throw PreconditionError("scenario override '" + key + "=" + value +
+                            "': not a seed");
+  }
+  return parsed;
+}
+
+void apply_override(ScenarioSpec& spec, const std::string& key,
+                    const std::string& value) {
+  if (key == "population") {
+    spec.population = parse_size(key, value);
+  } else if (key == "sessions") {
+    spec.sessions = parse_size(key, value);
+  } else if (key == "worlds") {
+    spec.worlds = parse_size(key, value);
+  } else if (key == "seed") {
+    spec.seed = parse_seed(key, value);
+  } else if (key == "T") {
+    spec.emerging_time = parse_real(key, value);
+  } else if (key == "alpha") {
+    spec.churn_alpha = parse_real(key, value);
+    spec.churn = spec.churn_alpha > 0.0;
+  } else if (key == "p") {
+    spec.malicious_p = parse_real(key, value);
+  } else if (key == "rate") {
+    spec.arrival.rate = parse_real(key, value);
+  } else if (key == "amplitude") {
+    spec.arrival.amplitude = parse_real(key, value);
+  } else if (key == "period") {
+    spec.arrival.period = parse_real(key, value);
+  } else if (key == "burst-rate") {
+    spec.arrival.burst_rate = parse_real(key, value);
+  } else if (key == "burst-start") {
+    spec.arrival.burst_start = parse_real(key, value);
+  } else if (key == "burst-length") {
+    spec.arrival.burst_length = parse_real(key, value);
+  } else if (key == "burst-period") {
+    spec.arrival.burst_period = parse_real(key, value);
+  } else if (key == "k") {
+    spec.shape.k = parse_size(key, value);
+  } else if (key == "l") {
+    spec.shape.l = parse_size(key, value);
+  } else if (key == "carriers") {
+    spec.carriers_n = parse_size(key, value);
+  } else if (key == "threshold") {
+    spec.threshold_m = parse_size(key, value);
+  } else if (key == "transient") {
+    spec.transient_fraction = parse_real(key, value);
+  } else if (key == "lifetime-shape") {
+    spec.lifetime.shape = parse_real(key, value);
+  } else if (key == "backend") {
+    if (value == "chord") {
+      spec.backend = core::DhtBackend::kChord;
+    } else if (value == "kademlia") {
+      spec.backend = core::DhtBackend::kKademlia;
+    } else {
+      throw PreconditionError("scenario override 'backend=" + value +
+                              "': expected chord or kademlia");
+    }
+  } else if (key == "scheme") {
+    if (value == "centralized") {
+      spec.scheme = core::SchemeKind::kCentralized;
+      spec.shape = core::PathShape{1, 1};
+    } else if (value == "disjoint") {
+      spec.scheme = core::SchemeKind::kDisjoint;
+    } else if (value == "joint") {
+      spec.scheme = core::SchemeKind::kJoint;
+    } else if (value == "share") {
+      spec.scheme = core::SchemeKind::kShare;
+    } else {
+      throw PreconditionError(
+          "scenario override 'scheme=" + value +
+          "': expected centralized, disjoint, joint or share");
+    }
+  } else if (key == "arrival") {
+    if (value == "deterministic") {
+      spec.arrival.kind = ArrivalKind::kDeterministic;
+    } else if (value == "poisson") {
+      spec.arrival.kind = ArrivalKind::kPoisson;
+    } else if (value == "diurnal") {
+      spec.arrival.kind = ArrivalKind::kDiurnal;
+    } else if (value == "flash-crowd") {
+      spec.arrival.kind = ArrivalKind::kFlashCrowd;
+    } else {
+      throw PreconditionError(
+          "scenario override 'arrival=" + value +
+          "': expected deterministic, poisson, diurnal or flash-crowd");
+    }
+  } else if (key == "lifetime") {
+    if (value == "exponential") {
+      spec.lifetime.kind = LifetimeKind::kExponential;
+    } else if (value == "weibull") {
+      spec.lifetime.kind = LifetimeKind::kWeibull;
+    } else if (value == "pareto") {
+      spec.lifetime.kind = LifetimeKind::kPareto;
+    } else if (value == "trace") {
+      spec.lifetime.kind = LifetimeKind::kTrace;
+    } else {
+      throw PreconditionError(
+          "scenario override 'lifetime=" + value +
+          "': expected exponential, weibull, pareto or trace");
+    }
+  } else {
+    throw PreconditionError("unknown scenario override key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  require(!text.empty(), "parse_scenario: empty scenario spec");
+  const std::size_t colon = text.find(':');
+  ScenarioSpec spec = find_scenario(text.substr(0, colon));
+  if (colon != std::string::npos) {
+    std::string overrides = text.substr(colon + 1);
+    require(!overrides.empty(),
+            "parse_scenario: trailing ':' without overrides in '" + text + "'");
+    std::size_t start = 0;
+    while (start <= overrides.size()) {
+      const std::size_t comma = overrides.find(',', start);
+      const std::string token =
+          overrides.substr(start, comma == std::string::npos
+                                      ? std::string::npos
+                                      : comma - start);
+      require(!token.empty(),
+              "parse_scenario: empty override token in '" + text + "'");
+      const std::size_t eq = token.find('=');
+      require(eq != std::string::npos && eq > 0 && eq + 1 < token.size(),
+              "parse_scenario: override '" + token + "' is not key=value");
+      apply_override(spec, token.substr(0, eq), token.substr(eq + 1));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+core::E2eScenario to_e2e_scenario(const ScenarioSpec& spec, std::size_t runs) {
+  core::E2eScenario e2e;
+  e2e.name = spec.name;
+  e2e.kind = spec.scheme;
+  e2e.backend = spec.backend;
+  e2e.shape = spec.shape;
+  e2e.carriers_n = spec.carriers_n;
+  e2e.threshold_m = spec.threshold_m;
+  e2e.population = spec.population;
+  e2e.p = spec.malicious_p;
+  e2e.attack_mode = spec.attack_mode;
+  e2e.churn = spec.churn;
+  e2e.churn_alpha = spec.churn_alpha;
+  e2e.sessions = 1;
+  e2e.emerging_time = spec.emerging_time;
+  e2e.runs = runs;
+  e2e.seed = spec.seed ^ 0xE2EB41D6Eull;
+  return e2e;
+}
+
+}  // namespace emergence::workload

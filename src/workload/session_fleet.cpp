@@ -1,0 +1,375 @@
+#include "workload/session_fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cloud/cloud_store.hpp"
+#include "common/error.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/churn_driver.hpp"
+#include "dht/kademlia.hpp"
+#include "emerge/e2e_runner.hpp"
+#include "emerge/protocol.hpp"
+#include "emerge/session_dispatcher.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::workload {
+
+void FleetTally::merge(const FleetTally& other) {
+  tally.merge(other.tally);
+  latency_us.merge(other.latency_us);
+  sessions_started += other.sessions_started;
+  sessions_delivered += other.sessions_delivered;
+  delivered_on_time += other.delivered_on_time;
+  max_delivery_offset_ns =
+      std::max(max_delivery_offset_ns, other.max_delivery_offset_ns);
+  payload_mismatches += other.payload_mismatches;
+  packages_sent += other.packages_sent;
+  packages_delivered += other.packages_delivered;
+  packages_dropped_malicious += other.packages_dropped_malicious;
+  malformed_packages += other.malformed_packages;
+  holders_stuck += other.holders_stuck;
+  key_assignments += other.key_assignments;
+  deliveries += other.deliveries;
+  churn_deaths += other.churn_deaths;
+  churn_transients += other.churn_transients;
+  churn_replacements += other.churn_replacements;
+  stray_packages += other.stray_packages;
+  arena_slots += other.arena_slots;
+  peak_live_sessions = std::max(peak_live_sessions, other.peak_live_sessions);
+  events_executed += other.events_executed;
+  horizon = std::max(horizon, other.horizon);
+  worlds += other.worlds;
+}
+
+namespace {
+
+void fnv(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t FleetTally::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fnv(h, tally.release.trials());
+  fnv(h, tally.release.successes());
+  fnv(h, tally.drop.successes());
+  for (std::uint64_t bin : tally.suffix_histogram) fnv(h, bin);
+  for (const auto& [key, weight] : latency_us.bins()) {
+    fnv(h, static_cast<std::uint64_t>(key));
+    fnv(h, weight);
+  }
+  fnv(h, sessions_started);
+  fnv(h, sessions_delivered);
+  fnv(h, delivered_on_time);
+  fnv(h, static_cast<std::uint64_t>(max_delivery_offset_ns));
+  fnv(h, payload_mismatches);
+  fnv(h, packages_sent);
+  fnv(h, packages_delivered);
+  fnv(h, packages_dropped_malicious);
+  fnv(h, malformed_packages);
+  fnv(h, holders_stuck);
+  fnv(h, key_assignments);
+  fnv(h, deliveries);
+  fnv(h, churn_deaths);
+  fnv(h, churn_transients);
+  fnv(h, churn_replacements);
+  fnv(h, stray_packages);
+  fnv(h, arena_slots);
+  fnv(h, peak_live_sessions);
+  fnv(h, events_executed);
+  fnv(h, worlds);
+  // horizon is a double but merges exactly (max), so its bits belong in
+  // the digest too.
+  std::uint64_t horizon_bits = 0;
+  static_assert(sizeof(horizon_bits) == sizeof(horizon));
+  std::memcpy(&horizon_bits, &horizon, sizeof(horizon_bits));
+  fnv(h, horizon_bits);
+  return h;
+}
+
+namespace {
+
+/// Per-session state parked in a stable-address arena slot. A slot is
+/// reused (optional re-emplaced) as soon as its session is reaped; every
+/// simulator event a session schedules fires at or before tr, and the
+/// reaper runs kReapGrace after tr, so no event can outlive its slot
+/// tenancy.
+struct Slot {
+  std::optional<core::TimedReleaseSession> session;
+  std::unique_ptr<core::Adversary> adversary;
+  cloud::BlobId blob;
+  std::uint64_t index = 0;  ///< global session index in this world
+  double send_time = 0.0;
+  double release_time = 0.0;
+};
+
+}  // namespace
+
+FleetTally SessionFleet::run(const FleetProgress& progress) {
+  const ScenarioSpec& s = spec_;
+  const std::size_t budget = s.sessions_in_world(world_index_);
+  FleetTally out;
+  out.worlds = 1;
+  if (budget == 0) return out;
+
+  // Sub-streams of the world stream; each consumer owns one so the draw
+  // sequences stay independent of interleaving (the determinism contract).
+  const Rng root = Rng(s.seed).fork(world_index_);
+  Rng net_rng = root.fork(1);
+  Rng mark_rng = root.fork(2);
+  Rng churn_mark_rng = root.fork(3);
+  Rng arrival_rng = root.fork(4);
+
+  sim::Simulator sim;
+  std::unique_ptr<dht::ChordNetwork> chord;
+  std::unique_ptr<dht::KademliaNetwork> kademlia;
+  dht::Network* net = nullptr;
+  if (s.backend == core::DhtBackend::kChord) {
+    dht::NetworkConfig cfg;
+    cfg.run_maintenance = s.churn;
+    // Perf-suite cadence, not the e2e harness's: a service world has
+    // population * horizon / interval maintenance events, and replica
+    // repair scans every stored key it holds — at 100k nodes and ~180k
+    // live stored layer keys those two terms dominate the wall clock.
+    // Repair still runs ~5x per mean emerging period, far above the churn
+    // rates any scenario in the registry drives.
+    cfg.stabilize_interval = 60.0;
+    cfg.replica_repair_interval = 240.0;
+    // O(log n) joins: a service world sees thousands of churn joins, and
+    // periodic fix_fingers converges the copied tables (perf suite model).
+    cfg.exact_join_fingers = false;
+    chord = std::make_unique<dht::ChordNetwork>(sim, net_rng, cfg);
+    chord->bootstrap(s.population);
+    net = chord.get();
+  } else {
+    dht::KademliaConfig cfg;
+    cfg.run_maintenance = s.churn;
+    cfg.republish_interval = 240.0;
+    kademlia = std::make_unique<dht::KademliaNetwork>(sim, net_rng, cfg);
+    kademlia->bootstrap(s.population);
+    net = kademlia.get();
+  }
+
+  cloud::CloudStore cloud;
+  core::SessionDispatcher dispatcher(*net);
+
+  // One shared coalition, marked once per world; per-session Adversary
+  // instances share it (adversary.hpp Config::coalition) while keeping
+  // their captured knowledge private — concurrent sessions reuse
+  // LayerKeyId coordinates, so knowledge must never be pooled.
+  std::shared_ptr<core::Coalition> coalition;
+  const std::size_t coalition_size = s.malicious_count();
+  if (coalition_size > 0) {
+    coalition = std::make_shared<core::Coalition>();
+    const std::vector<dht::NodeId>& initial = net->alive_ids();
+    for (std::uint32_t pick :
+         mark_rng.sample_without_replacement(initial.size(), coalition_size)) {
+      coalition->insert(initial[pick]);
+    }
+  }
+
+  std::optional<dht::ChurnDriver> churn;
+  if (s.churn) {
+    dht::ChurnConfig cfg;
+    cfg.replace_dead_nodes = true;
+    cfg.transient_fraction = s.transient_fraction;
+    cfg.lifetime = s.lifetime.build(s.mean_lifetime());
+    churn.emplace(*net, cfg);
+    if (coalition) {
+      // Replacement joins are malicious i.i.d. at the coalition rate; one
+      // insert into the shared set marks them for every live session.
+      const double fresh_rate = static_cast<double>(coalition_size) /
+                                static_cast<double>(s.population);
+      churn->on_death = [&churn_mark_rng, &coalition, fresh_rate](
+                            const dht::NodeId&, const dht::NodeId* replacement) {
+        if (replacement == nullptr) return;
+        if (churn_mark_rng.chance(fresh_rate)) coalition->insert(*replacement);
+      };
+    }
+    churn->start();
+  }
+
+  const core::PathShape shape = s.scheme == core::SchemeKind::kCentralized
+                                    ? core::PathShape{1, 1}
+                                    : s.shape;
+  const double th = s.emerging_time / static_cast<double>(shape.l);
+
+  core::SessionConfig config;
+  config.kind = s.scheme == core::SchemeKind::kCentralized
+                    ? core::SchemeKind::kJoint
+                    : s.scheme;
+  config.shape = shape;
+  if (s.scheme == core::SchemeKind::kShare) {
+    config.carriers_n = s.resolved_carriers();
+    config.threshold_m = s.resolved_threshold();
+  }
+  config.emerging_time = s.emerging_time;
+
+  const Bytes payload = bytes_of("service-load-payload");
+  const std::shared_ptr<const ArrivalProcess> arrivals = s.arrival.build();
+
+  std::vector<std::unique_ptr<Slot>> arena;
+  std::vector<std::size_t> free_slots;
+  std::uint64_t started = 0;
+  std::uint64_t reaped = 0;
+
+  auto reap = [&](std::size_t slot_index) {
+    Slot& slot = *arena[slot_index];
+    const core::TimedReleaseSession& session = *slot.session;
+    const core::SessionReport& report = session.report();
+
+    // Shared reduction (e2e_runner.hpp): the release rule and delivery
+    // tolerance live there, matched to the stat engine.
+    const core::SessionOutcome outcome = core::reduce_session_outcome(
+        session, slot.adversary.get(), s.scheme, th, shape.l);
+    out.tally.add(outcome.stat);
+
+    if (outcome.delivered) {
+      ++out.sessions_delivered;
+      if (outcome.on_time) ++out.delivered_on_time;
+      out.max_delivery_offset_ns =
+          std::max(out.max_delivery_offset_ns, outcome.abs_offset_ns);
+      out.latency_us.add(outcome.latency_us);
+      if (slot.index % kPayloadCheckStride == 0) {
+        // Full receiver-side decrypt against the cloud ciphertext.
+        const std::optional<Bytes> plain = slot.session->receiver_decrypt(
+            "svc-" + std::to_string(slot.index));
+        if (!plain.has_value() || *plain != payload) ++out.payload_mismatches;
+      }
+    }
+    out.packages_sent += report.packages_sent;
+    out.packages_delivered += report.packages_delivered;
+    out.packages_dropped_malicious += report.packages_dropped_malicious;
+    out.malformed_packages += report.malformed_packages;
+    out.holders_stuck += report.holders_stuck;
+    out.key_assignments += report.key_assignments;
+    out.deliveries += report.deliveries;
+
+    // Recycle: erase the session's stored layer keys from the world,
+    // deregister from the dispatcher, release the cloud blob, free the slot.
+    slot.session->retire();
+    cloud.remove(slot.blob);
+    slot.session.reset();
+    slot.adversary.reset();
+    free_slots.push_back(slot_index);
+    ++reaped;
+    if (reaped == budget && churn.has_value()) churn->stop();
+  };
+
+  auto start_one = [&]() {
+    std::size_t slot_index;
+    if (!free_slots.empty()) {
+      slot_index = free_slots.back();
+      free_slots.pop_back();
+    } else {
+      slot_index = arena.size();
+      arena.push_back(std::make_unique<Slot>());
+    }
+    Slot& slot = *arena[slot_index];
+    slot.index = started++;
+    out.peak_live_sessions =
+        std::max(out.peak_live_sessions, started - reaped);
+
+    core::Adversary* adversary = nullptr;
+    if (coalition) {
+      core::Adversary::Config acfg;
+      acfg.mode = s.attack_mode;
+      acfg.onion_slots_k =
+          s.scheme == core::SchemeKind::kShare ? 0 : shape.k;
+      acfg.share_threshold_m =
+          s.scheme == core::SchemeKind::kShare ? s.resolved_threshold() : 1;
+      acfg.coalition = coalition;
+      slot.adversary = std::make_unique<core::Adversary>(acfg);
+      adversary = slot.adversary.get();
+    }
+
+    slot.session.emplace(*net, cloud, adversary, config,
+                         root.fork(16 + slot.index).seed(), &dispatcher);
+    slot.blob = slot.session->send(payload, "svc-" + std::to_string(slot.index));
+    slot.send_time = sim.now();
+    slot.release_time = slot.session->release_time();
+
+    if (adversary != nullptr) {
+      // Coalition knowledge grows at package-arrival instants ts +
+      // (c-1)*th; one probe shortly after each wave pins the earliest
+      // possession time (same model as the e2e harness). Probes fire
+      // before tr, the reaper after tr + grace, so the adversary pointer
+      // outlives every probe.
+      const double probe_offset = std::min(0.5, th / 4.0);
+      for (std::size_t c = 1; c <= shape.l; ++c) {
+        sim.schedule_at(
+            slot.send_time + static_cast<double>(c - 1) * th + probe_offset,
+            [adversary, &sim]() { adversary->attempt_restore(sim.now()); });
+      }
+    }
+    sim.schedule_at(slot.release_time + kReapGrace,
+                    [&reap, slot_index]() { reap(slot_index); });
+  };
+
+  // Open-loop arrivals: each arrival event starts one session and
+  // schedules the next arrival until the budget is exhausted.
+  std::function<void()> arrive = [&]() {
+    start_one();
+    if (started < static_cast<std::uint64_t>(budget)) {
+      sim.schedule_at(arrivals->next_after(sim.now(), arrival_rng), arrive);
+    }
+  };
+  sim.schedule_at(arrivals->next_after(0.0, arrival_rng), arrive);
+
+  // Drive in fixed virtual-time chunks (fixed regardless of thread count,
+  // so chunking cannot affect determinism) to give the progress observer a
+  // heartbeat on long single-world runs. When the next pending event lies
+  // beyond the chunk (a trickle scenario idling between arrivals), jump
+  // straight to it instead of spinning empty chunks — the jump target is a
+  // pure function of the event queue, so determinism is unaffected.
+  constexpr double kChunk = 120.0;
+  while (reaped < static_cast<std::uint64_t>(budget)) {
+    const std::optional<double> next = sim.next_event_time();
+    if (!next.has_value()) {
+      throw ProtocolError(
+          "SessionFleet: event queue drained before the session budget "
+          "completed (scenario '" + s.name + "')");
+    }
+    sim.run_until(std::max(sim.now() + kChunk, *next));
+    if (progress) progress(sim.now(), reaped, started);
+  }
+
+  out.sessions_started = started;
+  out.arena_slots = arena.size();
+  out.events_executed = sim.executed_events();
+  out.horizon = sim.now();
+  out.stray_packages = dispatcher.stray_packages();
+  if (churn.has_value()) {
+    out.churn_deaths = churn->deaths();
+    out.churn_transients = churn->transient_outages();
+    out.churn_replacements = churn->replacements();
+  }
+  return out;
+}
+
+FleetTally run_scenario(core::SweepRunner& sweeps, const ScenarioSpec& spec,
+                        const FleetProgress& progress) {
+  spec.validate();
+  std::vector<FleetTally> tallies(spec.worlds);
+  sweeps.run_shards(spec.worlds, [&](std::size_t world) {
+    SessionFleet fleet(spec, world);
+    tallies[world] =
+        fleet.run(spec.worlds == 1 ? progress : FleetProgress{});
+  });
+  // Merge rule: ascending world index (see sweep.cpp).
+  FleetTally total;
+  for (const FleetTally& tally : tallies) total.merge(tally);
+  return total;
+}
+
+}  // namespace emergence::workload

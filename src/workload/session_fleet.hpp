@@ -1,0 +1,125 @@
+// Open-loop traffic generation: fleets of TimedReleaseSessions streaming
+// through one long-lived shared world.
+//
+// The e2e harness builds a fresh world per Monte-Carlo run and tears it
+// down after at most 8 concurrent sessions; a *service* carries an open
+// stream of sessions against one substrate. SessionFleet is that service
+// model: an arrival process schedules session setups on the Simulator
+// clock, each session runs the full protocol (paths, onions, holders,
+// delivery at tr) against the shared DHT while the churn driver replays
+// the scenario's lifetime law underneath, and a reaper collects every
+// finished session's outcome into the exact-integer FleetTally before
+// recycling its arena slot — so half a million sessions fit in the memory
+// of the few tens of thousands that are ever concurrently live.
+//
+// Determinism contract (docs/architecture.md, "Workloads and scenarios"):
+// a world's tally is a pure function of (spec, world_index). All
+// randomness flows through Rng::fork sub-streams of the world stream
+// (network, coalition marking, churn, arrivals, per-session drbg seeds),
+// and a scenario's worlds shard over SweepRunner::run_shards with the
+// ascending-index merge rule, so the scenario tally is bit-identical at
+// any thread count — regression-tested at 1/2/8 threads like every other
+// sweep in this repository.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.hpp"
+#include "emerge/sweep.hpp"
+#include "workload/scenario.hpp"
+
+namespace emergence::workload {
+
+/// Exact aggregate of fleet outcomes. Every field merges exactly (integer
+/// sums, maxes, or the exact Histogram64), so any sharding of the same
+/// worlds reproduces the serial tallies bit-identically; worlds are still
+/// merged in ascending index order (the sweep rule).
+struct FleetTally {
+  /// One trial per session: release = coalition restored the secret
+  /// strictly early (same event as the e2e harness — share scheme cascades
+  /// from margin >= 2, pre-assigned-key schemes need margin == l); drop =
+  /// no delivery by tr; suffix histogram = restore margins.
+  core::RunTally tally;
+
+  /// first_delivery - ts quantized to integer microseconds of virtual
+  /// time. The protocol's timing contract makes this exactly T for every
+  /// delivered session, so p50 == p99 == max is itself a gate; the
+  /// histogram is the machinery that would surface any drift.
+  Histogram64 latency_us;
+
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_delivered = 0;
+  std::uint64_t delivered_on_time = 0;  ///< within 1us of tr
+  std::int64_t max_delivery_offset_ns = 0;
+  /// Spot-check failures: every kPayloadCheckStride-th delivered session
+  /// runs receiver_decrypt and compares against the sent payload.
+  std::uint64_t payload_mismatches = 0;
+
+  // Summed SessionReport counters across all sessions.
+  std::uint64_t packages_sent = 0;
+  std::uint64_t packages_delivered = 0;
+  std::uint64_t packages_dropped_malicious = 0;
+  std::uint64_t malformed_packages = 0;
+  std::uint64_t holders_stuck = 0;
+  std::uint64_t key_assignments = 0;
+  std::uint64_t deliveries = 0;
+
+  std::uint64_t churn_deaths = 0;
+  std::uint64_t churn_transients = 0;
+  std::uint64_t churn_replacements = 0;
+  std::uint64_t stray_packages = 0;  ///< late packages for retired sessions
+
+  std::uint64_t arena_slots = 0;        ///< slots ever allocated (sum)
+  std::uint64_t peak_live_sessions = 0; ///< max concurrently live (max)
+  std::uint64_t events_executed = 0;    ///< simulator events (sum)
+  double horizon = 0.0;                 ///< virtual end time (max)
+  std::uint64_t worlds = 0;
+
+  void merge(const FleetTally& other);
+  std::size_t trials() const { return tally.runs(); }
+  double drop_rate() const { return tally.drop.rate(); }
+  double release_rate() const { return tally.release.rate(); }
+  /// Order-independent 64-bit digest of every exact field; two runs of the
+  /// same scenario agree iff their fingerprints do (used by the
+  /// thread-invariance gates in bench/service_load).
+  std::uint64_t fingerprint() const;
+};
+
+/// Progress observer for long single-world runs: (virtual_now,
+/// sessions_reaped, sessions_started), invoked once per drive chunk.
+using FleetProgress =
+    std::function<void(double, std::uint64_t, std::uint64_t)>;
+
+/// One world of a scenario: builds the substrate, streams its share of the
+/// session budget through it, reaps and recycles, returns the exact tally.
+class SessionFleet {
+ public:
+  /// Sessions past tr wait this long (assembly + message latency headroom)
+  /// before the reaper collects and recycles them.
+  static constexpr double kReapGrace = 2.0;
+  /// Every this-many-th delivered session is decrypt-verified end to end.
+  static constexpr std::uint64_t kPayloadCheckStride = 997;
+
+  /// `spec` must already be validate()d (run_scenario does).
+  SessionFleet(const ScenarioSpec& spec, std::size_t world_index)
+      : spec_(spec), world_index_(world_index) {}
+
+  /// Runs the world to completion on the calling thread. `progress` (may
+  /// be null) is invoked between drive chunks; it must not mutate the
+  /// fleet. Deterministic: the tally is a pure function of (spec, index).
+  FleetTally run(const FleetProgress& progress = nullptr);
+
+ private:
+  const ScenarioSpec& spec_;
+  std::size_t world_index_;
+};
+
+/// Runs every world of the scenario across the sweep pool and merges the
+/// tallies in ascending world order — bit-identical at any thread count.
+/// `progress` is forwarded only when worlds == 1 (a single serial world);
+/// multi-world runs report nothing mid-flight.
+FleetTally run_scenario(core::SweepRunner& sweeps, const ScenarioSpec& spec,
+                        const FleetProgress& progress = nullptr);
+
+}  // namespace emergence::workload

@@ -1,0 +1,155 @@
+// Regression coverage for the ChurnDriver's LifetimeModel generalization.
+//
+// The hard contract of the refactor: the *default* configuration (no
+// explicit model) must replay the pre-generalization churn event sequence
+// bit-for-bit at pinned seeds — same death count, same transient count,
+// same event times to the last ulp, same replacement ids. The goldens
+// below were captured against the pre-refactor driver (the inline
+// rng.exponential call) and must never drift.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hex.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/churn_driver.hpp"
+#include "workload/lifetime.hpp"
+
+namespace emergence {
+namespace {
+
+struct DeathEvent {
+  double at = 0.0;
+  std::string dead_prefix;         // first 4 bytes, hex
+  std::string replacement_prefix;  // empty when not replaced
+};
+
+struct GoldenRun {
+  std::uint64_t deaths = 0;
+  std::uint64_t transients = 0;
+  std::uint64_t replacements = 0;
+  std::vector<DeathEvent> first_deaths;
+};
+
+/// One pinned world driven to t = 1200: 64 Chord nodes at seed 0xC0FFEE,
+/// mean lifetime 400, 25% transient outages with mean downtime 60.
+GoldenRun drive_pinned_world(dht::ChurnConfig churn_config) {
+  sim::Simulator sim;
+  Rng rng(0xC0FFEE);
+  dht::NetworkConfig cfg;
+  cfg.run_maintenance = true;
+  dht::ChordNetwork net(sim, rng, cfg);
+  net.bootstrap(64);
+  dht::ChurnDriver churn(net, std::move(churn_config));
+  GoldenRun run;
+  churn.on_death = [&](const dht::NodeId& dead, const dht::NodeId* rep) {
+    if (run.first_deaths.size() >= 6) return;
+    DeathEvent event;
+    event.at = sim.now();
+    event.dead_prefix = to_hex(dead.bytes()).substr(0, 8);
+    if (rep != nullptr)
+      event.replacement_prefix = to_hex(rep->bytes()).substr(0, 8);
+    run.first_deaths.push_back(event);
+  };
+  churn.start();
+  sim.run_until(1200.0);
+  run.deaths = churn.deaths();
+  run.transients = churn.transient_outages();
+  run.replacements = churn.replacements();
+  return run;
+}
+
+dht::ChurnConfig pinned_config() {
+  dht::ChurnConfig cfg;
+  cfg.mean_lifetime = 400.0;
+  cfg.replace_dead_nodes = true;
+  cfg.transient_fraction = 0.25;
+  cfg.mean_downtime = 60.0;
+  return cfg;
+}
+
+void expect_golden(const GoldenRun& run) {
+  // Captured against the pre-generalization driver (see file comment).
+  EXPECT_EQ(run.deaths, 140u);
+  EXPECT_EQ(run.transients, 47u);
+  EXPECT_EQ(run.replacements, 140u);
+  ASSERT_EQ(run.first_deaths.size(), 6u);
+  const std::vector<DeathEvent> expected = {
+      {0.93329468760557455, "54d5004e", "ed2f56a7"},
+      {5.64354698965903, "a835c616", "0712e60c"},
+      {23.855742585256742, "e86c2f4f", "a09658ee"},
+      {24.579743796041136, "a181a840", "54e38dff"},
+      {60.334220245464451, "5a8e6151", "f90e320d"},
+      {63.146552594661351, "6b8cc154", "553070af"},
+  };
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Bit-equal doubles: the refactor must not perturb a single draw.
+    EXPECT_EQ(run.first_deaths[i].at, expected[i].at) << "event " << i;
+    EXPECT_EQ(run.first_deaths[i].dead_prefix, expected[i].dead_prefix);
+    EXPECT_EQ(run.first_deaths[i].replacement_prefix,
+              expected[i].replacement_prefix);
+  }
+}
+
+TEST(ChurnModels, DefaultConfigReplaysPreRefactorSequenceBitForBit) {
+  expect_golden(drive_pinned_world(pinned_config()));
+}
+
+TEST(ChurnModels, ExplicitExponentialModelMatchesTheDefault) {
+  // Passing the exponential model explicitly must be indistinguishable
+  // from the null-model default (including transient/replacement logic).
+  dht::ChurnConfig cfg = pinned_config();
+  cfg.lifetime = std::make_shared<workload::ExponentialLifetime>(400.0);
+  expect_golden(drive_pinned_world(cfg));
+}
+
+TEST(ChurnModels, ExponentialSampleIsExactlyRngExponential) {
+  const workload::ExponentialLifetime model(250.0);
+  Rng a(0xAB), b(0xAB);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(model.sample(a), b.exponential(250.0));
+  }
+}
+
+TEST(ChurnModels, HeavyTailModelsDriveChurnDeterministically) {
+  for (const auto& model :
+       std::vector<std::shared_ptr<const workload::LifetimeModel>>{
+           std::make_shared<workload::WeibullLifetime>(0.6, 400.0),
+           std::make_shared<workload::ParetoLifetime>(1.5, 400.0),
+           std::make_shared<workload::TraceLifetime>(
+               workload::bundled_session_trace(), 400.0)}) {
+    dht::ChurnConfig cfg = pinned_config();
+    cfg.lifetime = model;
+    const GoldenRun first = drive_pinned_world(cfg);
+    const GoldenRun second = drive_pinned_world(cfg);
+    EXPECT_GT(first.deaths + first.transients, 0u) << model->name();
+    EXPECT_EQ(first.deaths, second.deaths) << model->name();
+    EXPECT_EQ(first.transients, second.transients) << model->name();
+    ASSERT_EQ(first.first_deaths.size(), second.first_deaths.size());
+    for (std::size_t i = 0; i < first.first_deaths.size(); ++i) {
+      EXPECT_EQ(first.first_deaths[i].at, second.first_deaths[i].at);
+      EXPECT_EQ(first.first_deaths[i].dead_prefix,
+                second.first_deaths[i].dead_prefix);
+    }
+  }
+}
+
+TEST(ChurnModels, DriverExposesItsModel) {
+  sim::Simulator sim;
+  Rng rng(1);
+  dht::ChordNetwork net(sim, rng, dht::NetworkConfig{});
+  net.bootstrap(8);
+  dht::ChurnDriver defaulted(net, pinned_config());
+  EXPECT_EQ(defaulted.lifetime_model().name(), "exponential");
+  EXPECT_DOUBLE_EQ(defaulted.lifetime_model().mean(), 400.0);
+
+  dht::ChurnConfig cfg = pinned_config();
+  cfg.lifetime = std::make_shared<workload::ParetoLifetime>(2.0, 300.0);
+  dht::ChurnDriver heavy(net, cfg);
+  EXPECT_EQ(heavy.lifetime_model().name(), "pareto");
+  EXPECT_DOUBLE_EQ(heavy.lifetime_model().mean(), 300.0);
+}
+
+}  // namespace
+}  // namespace emergence

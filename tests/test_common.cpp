@@ -550,5 +550,56 @@ TEST(Stats, RateStatMergeWithEmpty) {
   EXPECT_EQ(empty.successes(), 1u);
 }
 
+TEST(Stats, Histogram64PercentilesAreNearestRank) {
+  Histogram64 h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.percentile(0.5), 0);
+  for (std::int64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.percentile(0.0), 1);
+  EXPECT_EQ(h.percentile(0.5), 50);
+  EXPECT_EQ(h.percentile(0.99), 99);
+  EXPECT_EQ(h.percentile(1.0), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Clamped out-of-range quantiles.
+  EXPECT_EQ(h.percentile(-1.0), 1);
+  EXPECT_EQ(h.percentile(2.0), 100);
+}
+
+TEST(Stats, Histogram64WeightedAddAndNegativeKeys) {
+  Histogram64 h;
+  h.add(-5, 3);
+  h.add(7, 1);
+  h.add(7, 2);
+  h.add(0, 0);  // zero weight is a no-op
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 7);
+  EXPECT_EQ(h.percentile(0.5), -5);
+  EXPECT_EQ(h.percentile(0.51), 7);
+}
+
+TEST(Stats, Histogram64MergeIsExactAndOrderFree) {
+  Histogram64 a, b, serial;
+  Rng rng(0x60D);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(rng.uniform(0, 40));
+    (i % 2 == 0 ? a : b).add(key);
+    serial.add(key);
+  }
+  Histogram64 ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.bins(), serial.bins());
+  EXPECT_EQ(ba.bins(), serial.bins());
+  EXPECT_EQ(ab.count(), serial.count());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(ab.percentile(q), serial.percentile(q));
+    EXPECT_EQ(ba.percentile(q), serial.percentile(q));
+  }
+}
+
 }  // namespace
 }  // namespace emergence

@@ -27,6 +27,7 @@ void expect_tallies_identical(const E2eTally& a, const E2eTally& b) {
   EXPECT_EQ(a.tally.release.successes(), b.tally.release.successes());
   EXPECT_EQ(a.tally.drop.successes(), b.tally.drop.successes());
   EXPECT_EQ(a.tally.suffix_histogram, b.tally.suffix_histogram);
+  EXPECT_EQ(a.latency_us.bins(), b.latency_us.bins());
   EXPECT_EQ(a.sessions_delivered, b.sessions_delivered);
   EXPECT_EQ(a.delivered_on_time, b.delivered_on_time);
   EXPECT_EQ(a.max_delivery_offset_ns, b.max_delivery_offset_ns);

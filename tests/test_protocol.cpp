@@ -12,6 +12,7 @@
 #include "dht/chord_network.hpp"
 #include "dht/kademlia.hpp"
 #include "emerge/protocol.hpp"
+#include "emerge/session_dispatcher.hpp"
 #include "sim/simulator.hpp"
 
 namespace emergence::core {
@@ -499,6 +500,80 @@ TEST(Protocol, SendTwiceRejected) {
   session.send(bytes_of("m"), "t");
   EXPECT_THROW(session.send(bytes_of("again"), "t"), PreconditionError);
   w.sim.run();
+}
+
+// -- dispatcher-managed sessions ----------------------------------------------
+
+TEST(Protocol, DispatchedSessionsDeliverLikeChainedOnes) {
+  World w;
+  SessionDispatcher dispatcher(*w.net);
+  auto first = std::make_unique<TimedReleaseSession>(
+      *w.net, w.cloud, nullptr, joint_config(), 91, &dispatcher);
+  auto second = std::make_unique<TimedReleaseSession>(
+      *w.net, w.cloud, nullptr, joint_config(), 92, &dispatcher);
+  first->send(bytes_of("one"), "t1");
+  second->send(bytes_of("two"), "t2");
+  EXPECT_EQ(dispatcher.live_sessions(), 2u);
+  EXPECT_GT(dispatcher.tracked_storage_keys(), 0u);
+
+  w.sim.run();
+  ASSERT_TRUE(first->secret_released());
+  ASSERT_TRUE(second->secret_released());
+  EXPECT_EQ(*first->receiver_decrypt("t1"), bytes_of("one"));
+  EXPECT_EQ(*second->receiver_decrypt("t2"), bytes_of("two"));
+  EXPECT_EQ(dispatcher.stray_packages(), 0u);
+}
+
+TEST(Protocol, RetireErasesStoredKeysAndDeregisters) {
+  World w;
+  SessionDispatcher dispatcher(*w.net);
+  auto session = std::make_unique<TimedReleaseSession>(
+      *w.net, w.cloud, nullptr, joint_config(), 93, &dispatcher);
+  session->send(bytes_of("m"), "t");
+  w.sim.run();
+  ASSERT_TRUE(session->secret_released());
+
+  // The pre-assigned layer keys live under the slots' ring points.
+  const PathLayout& layout = session->layout();
+  const dht::NodeId stored_key = layout.ring_points[0][0];
+  EXPECT_NE(w.net->get(stored_key), nullptr);
+
+  session->retire();
+  EXPECT_EQ(dispatcher.live_sessions(), 0u);
+  EXPECT_EQ(dispatcher.tracked_storage_keys(), 0u);
+  EXPECT_EQ(w.net->get(stored_key), nullptr);
+  session->retire();  // idempotent
+  // Destroying the retired session must not disturb the dispatcher.
+  session.reset();
+  EXPECT_EQ(dispatcher.live_sessions(), 0u);
+}
+
+TEST(Protocol, StrayPackagesForRetiredSessionsAreCountedNotDelivered) {
+  World w;
+  SessionDispatcher dispatcher(*w.net);
+  auto session = std::make_unique<TimedReleaseSession>(
+      *w.net, w.cloud, nullptr, joint_config(), 94, &dispatcher);
+  session->send(bytes_of("m"), "t");
+  // Capture a genuine column-1 package off the wire by replaying what the
+  // sender emitted: simplest is to let the world run, retire, then poke a
+  // fabricated package at the (now unregistered) nonce via a copy of the
+  // default handler path — a foreign well-formed package with an unknown
+  // nonce exercises the same branch.
+  w.sim.run();
+  session->retire();
+  session.reset();
+
+  BinaryWriter forged;
+  forged.u8(1);                 // kMsgPackage
+  forged.u64(0xDEADBEEF);       // no such session
+  forged.u16(1);
+  forged.u16(0);
+  forged.u16(0);                // zero shares
+  forged.blob(bytes_of("xx"));  // onion bytes (never decoded)
+  const std::vector<dht::NodeId>& alive = w.net->alive_ids();
+  w.net->send_message(alive[0], alive[1], forged.take());
+  w.sim.run();
+  EXPECT_EQ(dispatcher.stray_packages(), 1u);
 }
 
 }  // namespace

@@ -277,5 +277,25 @@ TEST(Simulator, CancelInterleavedWithRunUntilKeepsCountersConsistent) {
   EXPECT_FALSE(sim.step(4) > 0);  // queue genuinely empty, no stale entries
 }
 
+TEST(Simulator, NextEventTimePeeksHeadAndPurgesCancelledTombstones) {
+  Simulator sim;
+  EXPECT_FALSE(sim.next_event_time().has_value());
+
+  const EventId early = sim.schedule_at(5.0, [] {});
+  sim.schedule_at(9.0, [] {});
+  ASSERT_TRUE(sim.next_event_time().has_value());
+  EXPECT_DOUBLE_EQ(*sim.next_event_time(), 5.0);
+
+  // Cancelling the head must surface the next live event (and consume the
+  // tombstone, like run()/run_until() would).
+  sim.cancel(early);
+  ASSERT_TRUE(sim.next_event_time().has_value());
+  EXPECT_DOUBLE_EQ(*sim.next_event_time(), 9.0);
+  EXPECT_EQ(sim.pending(), 1u);
+
+  sim.run_until(10.0);
+  EXPECT_FALSE(sim.next_event_time().has_value());
+}
+
 }  // namespace
 }  // namespace emergence::sim
