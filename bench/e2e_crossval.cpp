@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
     }
     const double th = scenario.emerging_time /
                       static_cast<double>(scenario.session_shape().l);
+    const emergence::dht::TransportStats& net = result.full_stack.transport;
     caption += "; holders_stuck=" +
                std::to_string(result.full_stack.holders_stuck) +
                ", churn_deaths=" +
@@ -89,7 +90,19 @@ int main(int argc, char** argv) {
                std::to_string(result.full_stack.max_delivery_offset_ns) +
                "; " +
                emergence::bench::latency_caption(result.full_stack.latency_us,
-                                                 th);
+                                                 th) +
+               "; net=" + scenario.transport.describe() + " attempts=" +
+               std::to_string(net.attempts) + " dropped=" +
+               std::to_string(net.dropped) + " retried=" +
+               std::to_string(net.retried) + " timed_out=" +
+               std::to_string(net.timed_out) + " hop_p50_s=" +
+               std::to_string(
+                   static_cast<double>(net.hop_latency_us.percentile(0.5)) *
+                   1e-6) +
+               " hop_p99_s=" +
+               std::to_string(
+                   static_cast<double>(net.hop_latency_us.percentile(0.99)) *
+                   1e-6);
     table.set_caption(caption);
     json.add_table(table);
   }

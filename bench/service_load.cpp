@@ -14,9 +14,11 @@
 // every named scenario at reduced scale): the whole session budget must
 // start and be reaped, every delivered session must land exactly at tr
 // (p50 == p99 == max == T), spot-checked receiver decrypts must match the
-// sent payload, and --check-invariance re-runs each scenario at 1 and 8
-// threads and gates bit-identical tally fingerprints. Any violation (or a
-// malformed --scenario spec) exits nonzero with an error.hpp diagnostic.
+// sent payload, and --check-invariance re-runs each scenario at 1, 2 and 8
+// threads and gates bit-identical tally AND transport fingerprints. Lossy
+// transports additionally gate nonzero drop/retransmit counters. Any
+// violation (or a malformed --scenario spec) exits nonzero with an
+// error.hpp diagnostic.
 //
 // Flags:
 //   --scenario=NAME[:key=value,...]  scenario to run (parse_scenario syntax)
@@ -147,39 +149,68 @@ ScenarioOutcome run_one(const ScenarioSpec& spec, const Options& o,
   const FleetTally& t = out.tally;
 
   // -- sanity gates ------------------------------------------------------------
+  // A transport that keeps the exactness contract (always true for the
+  // ideal default) pins every delivery to exactly tr; lossy/partitioned
+  // transports instead get the hop-local lateness bound (reap_slack).
+  const bool exact = spec.exact_delivery();
+  const bool lossy_transport =
+      spec.transport.can_drop() || spec.transport.has_partition();
   if (t.sessions_started != spec.sessions)
     fail(out, "did not start the full session budget");
   if (t.trials() != spec.sessions)
     fail(out, "reaped trials != session budget");
   if (t.sessions_delivered + t.tally.drop.successes() != t.sessions_started)
     fail(out, "delivered + dropped != started");
-  if (t.delivered_on_time != t.sessions_delivered)
+  if (exact && t.delivered_on_time != t.sessions_delivered)
     fail(out, "late delivery (timing contract violated)");
+  if (!exact &&
+      static_cast<double>(t.max_delivery_offset_ns) >
+          spec.transport.reap_slack(spec.shape.l) * 1e9) {
+    fail(out, "late delivery beyond the transport reap_slack bound");
+  }
   if (t.payload_mismatches != 0) fail(out, "receiver decrypt mismatch");
-  if (t.sessions_delivered > 0) {
+  if (exact && t.sessions_delivered > 0) {
     const std::int64_t expect_us = std::llround(spec.emerging_time * 1e6);
     if (t.latency_us.percentile(0.5) != expect_us ||
         t.latency_us.max() != expect_us) {
       fail(out, "latency percentiles off T");
     }
   }
-  // Covert holders forward everything; without churn every session delivers.
+  // Covert holders forward everything; without churn or transport loss
+  // every session delivers.
   if (!spec.churn && spec.attack_mode == core::AttackMode::kCovert &&
-      t.sessions_delivered != t.sessions_started) {
+      !lossy_transport && t.sessions_delivered != t.sessions_started) {
     fail(out, "drops in a churn-free covert scenario");
+  }
+  // A lossy transport that carried real traffic must show its counters:
+  // the expected-drop threshold (20) keeps the gate off statistical noise.
+  if (spec.transport.drop_probability > 0.0 &&
+      static_cast<double>(t.transport.attempts) *
+              spec.transport.drop_probability >=
+          20.0) {
+    if (t.transport.dropped == 0)
+      fail(out, "lossy transport recorded zero drops");
+    if (spec.transport.max_retries > 0 && t.transport.retried == 0)
+      fail(out, "lossy transport with retries recorded zero retransmits");
   }
   if (o.max_seconds > 0.0 && out.wall_seconds > o.max_seconds)
     fail(out, "wall-clock budget exceeded");
 
   if (o.check_invariance) {
-    // Tallies must be a pure function of the spec: re-run on pools of 1 and
-    // 8 workers and require bit-identical fingerprints.
-    core::SweepRunner one(core::SweepOptions{1, 64});
-    core::SweepRunner eight(core::SweepOptions{8, 64});
-    const std::uint64_t f1 = workload::run_scenario(one, spec).fingerprint();
-    const std::uint64_t f8 = workload::run_scenario(eight, spec).fingerprint();
-    if (f1 != t.fingerprint() || f8 != t.fingerprint())
-      fail(out, "tallies not thread-count invariant");
+    // Tallies must be a pure function of the spec: re-run on pools of 1, 2
+    // and 8 workers and require bit-identical protocol AND transport
+    // fingerprints (the transport digest covers counters and the exact
+    // hop-latency histogram, so retransmit scheduling cannot silently
+    // depend on the pool size).
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      core::SweepRunner pool(core::SweepOptions{threads, 64});
+      const FleetTally rerun = workload::run_scenario(pool, spec);
+      if (rerun.fingerprint() != t.fingerprint() ||
+          rerun.transport.fingerprint() != t.transport.fingerprint()) {
+        fail(out, "tallies not thread-count invariant at " +
+                      std::to_string(threads) + " threads");
+      }
+    }
   }
   return out;
 }
@@ -225,7 +256,8 @@ int main(int argc, char** argv) {
       {"idx", "population", "sessions", "worlds", "wall_s", "sessions_per_s",
        "horizon_vs", "latency_p50_s", "latency_p99_s", "latency_max_s",
        "release_rate", "drop_rate", "deaths", "transients", "peak_live",
-       "arena_slots", "events", "pass"});
+       "arena_slots", "events", "net_attempts", "net_dropped", "net_retried",
+       "net_timed_out", "hop_p50_s", "hop_p99_s", "hop_max_s", "pass"});
   std::string caption = "scenarios:";
 
   bool all_pass = true;
@@ -265,6 +297,13 @@ int main(int argc, char** argv) {
                    static_cast<double>(t.peak_live_sessions),
                    static_cast<double>(t.arena_slots),
                    static_cast<double>(t.events_executed),
+                   static_cast<double>(t.transport.attempts),
+                   static_cast<double>(t.transport.dropped),
+                   static_cast<double>(t.transport.retried),
+                   static_cast<double>(t.transport.timed_out),
+                   us_to_s(t.transport.hop_latency_us.percentile(0.5)),
+                   us_to_s(t.transport.hop_latency_us.percentile(0.99)),
+                   us_to_s(t.transport.hop_latency_us.max()),
                    out.pass ? 1.0 : 0.0});
 
     std::cout << spec.name << ": " << t.sessions_started << " sessions in "
@@ -276,8 +315,18 @@ int main(int argc, char** argv) {
               << t.drop_rate() << ", churn " << t.churn_deaths << "d/"
               << t.churn_transients << "t, peak live "
               << t.peak_live_sessions << " in " << t.arena_slots
-              << " slots, " << t.events_executed << " events, fingerprint "
-              << t.fingerprint() << (out.pass ? "" : "  << FAILED: " + out.failure)
+              << " slots, " << t.events_executed << " events, net "
+              << t.transport.attempts << "a/" << t.transport.dropped << "d/"
+              << t.transport.retried << "r/" << t.transport.timed_out
+              << "to hop_p50 "
+              << static_cast<double>(t.transport.hop_latency_us.percentile(0.5)) *
+                     1e-6
+              << "s hop_p99 "
+              << static_cast<double>(t.transport.hop_latency_us.percentile(0.99)) *
+                     1e-6
+              << "s, fingerprint " << t.fingerprint() << " (transport "
+              << t.transport.fingerprint() << ")"
+              << (out.pass ? "" : "  << FAILED: " + out.failure)
               << "\n\n";
   }
 

@@ -34,7 +34,13 @@ std::size_t floor_log2_distance(const NodeId& from, const NodeId& to) {
 
 ChordNetwork::ChordNetwork(sim::Simulator& simulator, Rng& rng,
                            NetworkConfig config)
-    : simulator_(simulator), rng_(rng), config_(config) {}
+    : simulator_(simulator),
+      rng_(rng),
+      config_(config),
+      transport_(config_.transport.resolved(config_.min_message_latency,
+                                            config_.max_message_latency)) {
+  transport_.validate();
+}
 
 NodeId ChordNetwork::fresh_node_id() {
   // Hash a unique counter; collisions are astronomically unlikely but we
@@ -372,20 +378,17 @@ void ChordNetwork::set_message_handler(const NodeId& node_id,
 void ChordNetwork::send_message(const NodeId& from, const NodeId& to,
                                 SharedBytes payload) {
   require(payload != nullptr, "ChordNetwork::send_message: null payload");
-  const double latency =
-      config_.min_message_latency +
-      rng_.real() * (config_.max_message_latency - config_.min_message_latency);
-  simulator_.schedule_in(latency, [this, from, to,
-                                   payload = std::move(payload)]() {
-    ChordNode* dest = live_node(to);
-    if (dest == nullptr) return;  // message to a dead node is lost
-    auto it = handlers_.find(to);
-    if (it != handlers_.end()) {
-      it->second(from, to, *payload);
-    } else if (default_handler_) {
-      default_handler_(from, to, *payload);
-    }
-  });
+  transport_.send(simulator_, rng_, transport_stats_, from, to,
+                  [this, from, to, payload = std::move(payload)]() {
+                    ChordNode* dest = live_node(to);
+                    if (dest == nullptr) return;  // dead destination: lost
+                    auto it = handlers_.find(to);
+                    if (it != handlers_.end()) {
+                      it->second(from, to, *payload);
+                    } else if (default_handler_) {
+                      default_handler_(from, to, *payload);
+                    }
+                  });
 }
 
 void ChordNetwork::send_message_routed(const NodeId& from,
@@ -393,22 +396,19 @@ void ChordNetwork::send_message_routed(const NodeId& from,
                                        SharedBytes payload) {
   require(payload != nullptr,
           "ChordNetwork::send_message_routed: null payload");
-  const double latency =
-      config_.min_message_latency +
-      rng_.real() * (config_.max_message_latency - config_.min_message_latency);
-  simulator_.schedule_in(latency, [this, from, ring_point,
-                                   payload = std::move(payload)]() {
-    const LookupResult result = lookup(ring_point);
-    if (!result.ok) return;
-    ChordNode* dest = live_node(result.node);
-    if (dest == nullptr) return;
-    auto it = handlers_.find(result.node);
-    if (it != handlers_.end()) {
-      it->second(from, result.node, *payload);
-    } else if (default_handler_) {
-      default_handler_(from, result.node, *payload);
-    }
-  });
+  transport_.send(simulator_, rng_, transport_stats_, from, ring_point,
+                  [this, from, ring_point, payload = std::move(payload)]() {
+                    const LookupResult result = lookup(ring_point);
+                    if (!result.ok) return;
+                    ChordNode* dest = live_node(result.node);
+                    if (dest == nullptr) return;
+                    auto it = handlers_.find(result.node);
+                    if (it != handlers_.end()) {
+                      it->second(from, result.node, *payload);
+                    } else if (default_handler_) {
+                      default_handler_(from, result.node, *payload);
+                    }
+                  });
 }
 
 void ChordNetwork::run_maintenance_round() {

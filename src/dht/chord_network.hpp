@@ -38,6 +38,11 @@ struct NetworkConfig {
   double replica_repair_interval = 120.0;    ///< seconds of virtual time
   double min_message_latency = 0.010;        ///< seconds
   double max_message_latency = 0.100;        ///< seconds
+  /// Message-level transport (latency law, loss, bounded retries). The
+  /// default ideal() resolves to the historical uniform draw over
+  /// [min_message_latency, max_message_latency]: bit-identical event
+  /// sequences at pinned seeds (tests/test_transport.cpp golden).
+  TransportModel transport;
   bool run_maintenance = true;  ///< schedule periodic stabilization tasks
   /// When false, a joining node copies its successor's finger table instead
   /// of running kIdBits lookups (fix_all_fingers); periodic fix_fingers
@@ -156,7 +161,11 @@ class ChordNetwork final : public Network {
   sim::Simulator& simulator() override { return simulator_; }
   Rng& rng() override { return rng_; }
   double max_message_latency() const override {
-    return config_.max_message_latency;
+    return transport_.max_single_latency();
+  }
+  const TransportModel& transport() const override { return transport_; }
+  const TransportStats& transport_stats() const override {
+    return transport_stats_;
   }
   const NetworkConfig& config() const { return config_; }
   LookupStats& lookup_stats() { return lookup_stats_; }
@@ -180,6 +189,9 @@ class ChordNetwork final : public Network {
   sim::Simulator& simulator_;
   Rng& rng_;
   NetworkConfig config_;
+  /// config_.transport resolved against the configured latency range.
+  TransportModel transport_;
+  TransportStats transport_stats_;
 
   /// Node arena: stable addresses, no per-node unique_ptr allocation, dead
   /// nodes stay (peers probe their liveness, exactly as before).

@@ -72,7 +72,13 @@ std::size_t KademliaNode::contact_count() const {
 
 KademliaNetwork::KademliaNetwork(sim::Simulator& simulator, Rng& rng,
                                  KademliaConfig config)
-    : simulator_(simulator), rng_(rng), config_(config) {}
+    : simulator_(simulator),
+      rng_(rng),
+      config_(config),
+      transport_(config_.transport.resolved(config_.min_message_latency,
+                                            config_.max_message_latency)) {
+  transport_.validate();
+}
 
 NodeId KademliaNetwork::fresh_node_id() {
   for (;;) {
@@ -410,12 +416,6 @@ void KademliaNetwork::set_message_handler(const NodeId& id,
   handlers_[id] = std::move(handler);
 }
 
-double KademliaNetwork::sample_latency() {
-  return config_.min_message_latency +
-         rng_.real() *
-             (config_.max_message_latency - config_.min_message_latency);
-}
-
 void KademliaNetwork::deliver(const NodeId& from, const NodeId& to,
                               BytesView payload) {
   if (live_node(to) == nullptr) return;
@@ -430,10 +430,10 @@ void KademliaNetwork::deliver(const NodeId& from, const NodeId& to,
 void KademliaNetwork::send_message(const NodeId& from, const NodeId& to,
                                    SharedBytes payload) {
   require(payload != nullptr, "KademliaNetwork::send_message: null payload");
-  simulator_.schedule_in(sample_latency(),
-                         [this, from, to, payload = std::move(payload)]() {
-                           deliver(from, to, *payload);
-                         });
+  transport_.send(simulator_, rng_, transport_stats_, from, to,
+                  [this, from, to, payload = std::move(payload)]() {
+                    deliver(from, to, *payload);
+                  });
 }
 
 void KademliaNetwork::send_message_routed(const NodeId& from,
@@ -441,13 +441,12 @@ void KademliaNetwork::send_message_routed(const NodeId& from,
                                           SharedBytes payload) {
   require(payload != nullptr,
           "KademliaNetwork::send_message_routed: null payload");
-  simulator_.schedule_in(
-      sample_latency(),
-      [this, from, ring_point, payload = std::move(payload)]() {
-        const LookupResult result = lookup(ring_point);
-        if (!result.ok) return;
-        deliver(from, result.node, *payload);
-      });
+  transport_.send(simulator_, rng_, transport_stats_, from, ring_point,
+                  [this, from, ring_point, payload = std::move(payload)]() {
+                    const LookupResult result = lookup(ring_point);
+                    if (!result.ok) return;
+                    deliver(from, result.node, *payload);
+                  });
 }
 
 void KademliaNetwork::republish_round() {

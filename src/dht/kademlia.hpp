@@ -41,6 +41,9 @@ struct KademliaConfig {
   std::size_t replication_factor = 3;
   double min_message_latency = 0.010;
   double max_message_latency = 0.100;
+  /// Message-level transport (see chord_network.hpp NetworkConfig): the
+  /// default ideal() reproduces the historical uniform draw bit-for-bit.
+  TransportModel transport;
   double republish_interval = 120.0;  ///< replica repair period
   bool run_maintenance = true;
 };
@@ -151,7 +154,11 @@ class KademliaNetwork final : public Network {
   sim::Simulator& simulator() override { return simulator_; }
   Rng& rng() override { return rng_; }
   double max_message_latency() const override {
-    return config_.max_message_latency;
+    return transport_.max_single_latency();
+  }
+  const TransportModel& transport() const override { return transport_; }
+  const TransportStats& transport_stats() const override {
+    return transport_stats_;
   }
 
   const std::vector<NodeId>& alive_ids() const override { return alive_ids_; }
@@ -172,7 +179,6 @@ class KademliaNetwork final : public Network {
   void register_alive(const NodeId& id);
   void unregister_alive(const NodeId& id);
   void schedule_republish();
-  double sample_latency();
   void deliver(const NodeId& from, const NodeId& to, BytesView payload);
 
   /// Iterative node lookup: the closest live node to `key`, with hop count.
@@ -185,6 +191,9 @@ class KademliaNetwork final : public Network {
   sim::Simulator& simulator_;
   Rng& rng_;
   KademliaConfig config_;
+  /// config_.transport resolved against the configured latency range.
+  TransportModel transport_;
+  TransportStats transport_stats_;
   /// Node arena (stable addresses, no per-node allocation churn).
   std::deque<KademliaNode> arena_;
   std::unordered_map<NodeId, KademliaNode*, NodeIdHash> nodes_;

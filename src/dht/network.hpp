@@ -15,6 +15,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "dht/node_id.hpp"
+#include "dht/transport.hpp"
 #include "sim/simulator.hpp"
 
 namespace emergence::dht {
@@ -135,7 +136,14 @@ class Network {
   virtual std::size_t alive_count() const = 0;
   virtual sim::Simulator& simulator() = 0;
   virtual Rng& rng() = 0;
+  /// Worst-case latency of one successful message attempt (the transport's
+  /// single-attempt bound L; the protocol's timing contract th > assembly +
+  /// 4*L is stated against this, not the retry-inclusive worst case).
   virtual double max_message_latency() const = 0;
+  /// The resolved transport model every application message travels through.
+  virtual const TransportModel& transport() const = 0;
+  /// Exact counters of everything the transport did on this network.
+  virtual const TransportStats& transport_stats() const = 0;
 };
 
 }  // namespace emergence::dht

@@ -52,6 +52,7 @@ void E2eTally::merge(const E2eTally& other) {
   holders_stuck += other.holders_stuck;
   key_assignments += other.key_assignments;
   deliveries += other.deliveries;
+  transport.merge(other.transport);
 }
 
 bool CrossValResult::pass() const {
@@ -142,6 +143,7 @@ void run_world(const E2eScenario& s, std::size_t run_index, E2eTally& out,
     cfg.run_maintenance = s.churn;
     cfg.stabilize_interval = 15.0;
     cfg.replica_repair_interval = 30.0;
+    cfg.transport = s.transport;
     chord = std::make_unique<dht::ChordNetwork>(sim, net_rng, cfg);
     chord->bootstrap(s.population);
     net = chord.get();
@@ -149,6 +151,7 @@ void run_world(const E2eScenario& s, std::size_t run_index, E2eTally& out,
     dht::KademliaConfig cfg;
     cfg.run_maintenance = s.churn;
     cfg.republish_interval = 30.0;
+    cfg.transport = s.transport;
     kademlia = std::make_unique<dht::KademliaNetwork>(sim, net_rng, cfg);
     kademlia->bootstrap(s.population);
     net = kademlia.get();
@@ -242,7 +245,11 @@ void run_world(const E2eScenario& s, std::size_t run_index, E2eTally& out,
     }
   }
 
-  sim.run_until(s.emerging_time + 5.0);
+  // A lossy/partitioned transport can still be walking a retry ladder near
+  // tr; extend the horizon so the last scheduled retransmit chain drains
+  // before the world is torn down (zero for the ideal default).
+  sim.run_until(s.emerging_time + 5.0 +
+                s.transport.reap_slack(s.session_shape().l));
 
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     const TimedReleaseSession& session = *sessions[i];
@@ -268,6 +275,7 @@ void run_world(const E2eScenario& s, std::size_t run_index, E2eTally& out,
     out.deliveries += report.deliveries;
   }
   if (churn.has_value()) out.churn_deaths += churn->deaths();
+  out.transport.merge(net->transport_stats());
 }
 
 }  // namespace
@@ -276,6 +284,9 @@ E2eTally E2eRunner::run_tallies(const E2eScenario& s) {
   require(s.runs >= 1, "E2eRunner: need at least one run");
   require(s.sessions >= 1, "E2eRunner: need at least one session");
   require(s.p >= 0.0 && s.p <= 1.0, "E2eRunner: p out of range");
+  // Fail fast on a malformed transport here, on the caller's thread, rather
+  // than inside a worker's world construction.
+  s.transport.resolved(0.010, 0.100).validate();
   if (s.kind == SchemeKind::kShare) {
     require(s.resolved_carriers() >= s.shape.k,
             "E2eRunner: share scenario needs carriers_n >= k");
@@ -373,9 +384,20 @@ CrossValResult E2eRunner::cross_validate(const E2eScenario& scenario,
   // the world count as the independent-sample size for the noise bound.
   const std::size_t fs_effective = scenario.runs;
   const bool covert = scenario.attack_mode == AttackMode::kCovert;
+  // Transport loss is invisible to the stat engine: its drop/release models
+  // assume every protocol message arrives. Gates that compare against those
+  // models are skipped under a lossy or partitioned transport; the dedicated
+  // drop_vs_transport_model gate below covers the composable case instead.
+  const bool lossy_transport =
+      scenario.transport.can_drop() || scenario.transport.has_partition();
 
-  // Timing gate (always): the protocol promises delivery exactly at tr.
+  // Timing gate: the protocol promises delivery exactly at tr whenever the
+  // transport keeps the exactness contract (always true for the ideal
+  // default). Under a non-exact transport the metric is still reported but
+  // only sanity-bounded: late deliveries are clamped hop-locally, so they
+  // stay within reap_slack of tr — enforced by max_delivery_offset_ns.
   {
+    const bool exact = scenario.exact_delivery();
     CrossValMetric m;
     m.metric = "delivered_on_time";
     m.fs_trials = fs_trials;
@@ -386,12 +408,19 @@ CrossValResult E2eRunner::cross_validate(const E2eScenario& scenario,
             : static_cast<double>(fs.delivered_on_time) /
                   static_cast<double>(fs.sessions_delivered);
     m.stat_engine = 1.0;
-    m.bound = 0.0;
-    m.pass = fs.delivered_on_time == fs.sessions_delivered;
+    if (exact) {
+      m.bound = 0.0;
+      m.pass = fs.delivered_on_time == fs.sessions_delivered;
+    } else {
+      const double slack =
+          scenario.transport.reap_slack(scenario.session_shape().l);
+      m.bound = 1.0;  // rate unconstrained; lateness bounded below
+      m.pass = static_cast<double>(fs.max_delivery_offset_ns) <= slack * 1e9;
+    }
     result.metrics.push_back(m);
   }
 
-  if (covert && !scenario.churn) {
+  if (covert && !scenario.churn && !lossy_transport) {
     if (scenario.malicious_count() > 0) {
       // Release rates: identical strict event in both engines.
       result.metrics.push_back(rate_metric(
@@ -418,13 +447,53 @@ CrossValResult E2eRunner::cross_validate(const E2eScenario& scenario,
     result.metrics.push_back(m);
   }
 
-  if (scenario.attack_mode == AttackMode::kDropping ||
-      (covert && scenario.malicious_count() == 0 && scenario.churn)) {
+  if (!lossy_transport &&
+      (scenario.attack_mode == AttackMode::kDropping ||
+       (covert && scenario.malicious_count() == 0 && scenario.churn))) {
     // Drop rates: dropping coalitions and/or churn losses; the stat
     // engine's drop model assumes exactly this adversary behavior.
     result.metrics.push_back(rate_metric("drop", fs.tally.drop.successes(),
                                          fs_trials, fs_effective,
                                          st.drop.successes(), st.runs(), z));
+  }
+
+  if (scenario.transport.can_drop() && !scenario.transport.has_partition() &&
+      !scenario.churn && scenario.malicious_count() == 0 &&
+      scenario.session_shape().k == 1) {
+    // Drop-adjusted prediction for an iid-lossy transport: a k = 1 chain
+    // carries exactly l serial package sends (the column-1 launch plus
+    // l - 1 forwards; terminal delivery is a local timer, and maintenance
+    // is off without churn). A send is permanently lost only when the
+    // original attempt and every retry all drop: q = p^(retries + 1). The
+    // session drops when any of the l sends is lost, composed with the
+    // stat engine's transport-free drop rate (zero here, kept in the
+    // formula so the gate stays correct if the guard ever widens).
+    const double p = scenario.transport.drop_probability;
+    const double q =
+        std::pow(p, static_cast<double>(scenario.transport.max_retries) + 1.0);
+    const double stat_drop =
+        st.runs() == 0 ? 0.0
+                       : static_cast<double>(st.drop.successes()) /
+                             static_cast<double>(st.runs());
+    const double predicted =
+        1.0 - (1.0 - stat_drop) *
+                  std::pow(1.0 - q,
+                           static_cast<double>(scenario.session_shape().l));
+    CrossValMetric m;
+    m.metric = "drop_vs_transport_model";
+    m.fs_trials = fs_trials;
+    m.stat_trials = st.runs();
+    m.full_stack = fs_trials == 0
+                       ? 0.0
+                       : static_cast<double>(fs.tally.drop.successes()) /
+                             static_cast<double>(fs_trials);
+    m.stat_engine = predicted;
+    // One-sample binomial bound: the prediction is analytic, so only the
+    // full-stack side contributes noise (plus the continuity correction).
+    const double n = static_cast<double>(fs_effective);
+    m.bound = z * std::sqrt(predicted * (1.0 - predicted) / n) + 1.0 / n;
+    m.pass = std::abs(m.diff()) <= m.bound;
+    result.metrics.push_back(m);
   }
 
   return result;
@@ -559,6 +628,21 @@ std::vector<E2eScenario> default_crossval_matrix(std::size_t runs,
     s.p = 0.3;
     s.attack_mode = AttackMode::kDropping;
     s.sessions = 2;
+    add(s);
+  }
+
+  // -- lossy transport vs the drop-adjusted analytic prediction ----------------
+  // Appended last so the sequential seed assignment above is unchanged
+  // (every earlier scenario keeps its pinned seed and tallies).
+  {
+    E2eScenario s;
+    s.name = "lossy_chain_chord";
+    s.kind = SchemeKind::kJoint;
+    s.shape = PathShape{1, 3};
+    s.transport = dht::TransportModel::lossy(0.2);
+    // One retry keeps q = p^2 = 0.04 large enough that the smoke-scale
+    // matrix run still observes nonzero transport drops and retries.
+    s.transport.max_retries = 1;
     add(s);
   }
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "dht/transport.hpp"
 #include "emerge/adversary.hpp"
 #include "emerge/sweep.hpp"
 #include "emerge/types.hpp"
@@ -62,10 +63,26 @@ struct E2eScenario {
   std::size_t runs = 200;          ///< Monte-Carlo worlds
   std::uint64_t seed = 0xE2E0;
 
+  /// Message-level transport for every world's network (scenario axis:
+  /// lan/wan/lossy/straggler/partition-heal); the default ideal() is
+  /// bit-identical to pre-transport history at pinned seeds.
+  dht::TransportModel transport;
+
   std::size_t malicious_count() const;  ///< floor(p * population)
   PathShape session_shape() const;      ///< {1,1} for kCentralized
   std::size_t resolved_carriers() const;
   std::size_t resolved_threshold() const;
+  /// th = T / l of the session shape (the timing-contract denominator).
+  double holding_period() const {
+    return emerging_time / static_cast<double>(session_shape().l);
+  }
+  /// True when the transport keeps the exact-at-tr delivery contract for
+  /// this geometry (see TransportModel::guarantees_exact_delivery; 1.0 is
+  /// the SessionConfig assembly_delay every harness world uses).
+  bool exact_delivery() const {
+    return transport.resolved(0.010, 0.100)
+        .guarantees_exact_delivery(holding_period(), 1.0);
+  }
 };
 
 /// Exact aggregate of full-stack outcomes over a set of sessions. Embeds
@@ -105,6 +122,10 @@ struct E2eTally {
   std::uint64_t holders_stuck = 0;
   std::uint64_t key_assignments = 0;
   std::uint64_t deliveries = 0;
+
+  /// Summed transport counters of every world's network (sent / dropped /
+  /// retried / timed-out plus the exact hop-latency histogram).
+  dht::TransportStats transport;
 
   void merge(const E2eTally& other);
   std::size_t trials() const { return tally.runs(); }

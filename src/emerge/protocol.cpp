@@ -449,8 +449,13 @@ void TimedReleaseSession::process_holder(std::uint16_t column,
     if (adversary_ != nullptr && adversary_->is_malicious(holder))
       adversary_->observe_secret(content.terminal_payload, now);
     const Bytes secret = content.terminal_payload;
+    // Clamp to now: a package that crossed a lossy/partitioned transport can
+    // assemble after tr, and delivery then happens immediately (late by the
+    // transport's documented bound) instead of tripping the scheduler's
+    // no-past-events precondition. Exact-delivery transports always take the
+    // first branch bit-identically.
     network_.simulator().schedule_at(
-        release_time(), [this, holder_index, secret]() {
+        std::max(now, release_time()), [this, holder_index, secret]() {
           deliver_to_receiver(holder_index, secret);
         });
     return;
@@ -466,9 +471,12 @@ void TimedReleaseSession::process_holder(std::uint16_t column,
     return;
   }
 
-  // Forward at the scheduled hop time ts + column * th.
-  const double forward_at =
-      start_time_ + static_cast<double>(column) * holding_period();
+  // Forward at the scheduled hop time ts + column * th, clamped to now for
+  // packages the transport delivered past their column's deadline (retried
+  // or partitioned links); lateness then propagates hop-local instead of
+  // crashing the schedule.
+  const double forward_at = std::max(
+      now, start_time_ + static_cast<double>(column) * holding_period());
   network_.simulator().schedule_at(
       forward_at, [this, column, holder_index, content, inner]() {
         forward_from(column, holder_index, content, inner);

@@ -102,10 +102,16 @@ class TimedReleaseSession {
   /// delivers at exactly tr — so per-column overheads (assembly_delay plus
   /// message latency) are absorbed inside each hold instead of accumulating
   /// into an l*(assembly_delay + latency) drift past tr. The constructor
-  /// precondition th > assembly_delay + 4*max_latency guarantees every
-  /// column finishes processing before its forwarding deadline; under it,
-  /// first_delivery_time() == release_time() exactly (bit-equal doubles;
-  /// regression-tested for l in {1, 3, 6} in tests/test_protocol.cpp).
+  /// precondition th > assembly_delay + 4*max_latency (max_latency = the
+  /// transport's single-attempt bound L) guarantees every column finishes
+  /// processing before its forwarding deadline; under it, and whenever the
+  /// transport guarantees_exact_delivery (no partition window, retry ladder
+  /// + L + assembly inside th), first_delivery_time() == release_time()
+  /// exactly (bit-equal doubles; regression-tested for l in {1, 3, 6} in
+  /// tests/test_protocol.cpp and under nonzero-latency transports in
+  /// tests/test_protocol_properties.cpp). Packages a lossy or partitioned
+  /// transport lands past a deadline are clamped to now and propagate
+  /// hop-local lateness bounded by TransportModel::reap_slack.
   double holding_period() const {
     return config_.emerging_time / static_cast<double>(config_.shape.l);
   }

@@ -59,6 +59,14 @@ struct ScenarioSpec {
   core::AttackMode attack_mode = core::AttackMode::kCovert;
   double malicious_p = 0.0;  ///< coalition fraction of the population
 
+  // -- transport ---------------------------------------------------------------
+  /// Message-level transport every world's network runs on (latency law,
+  /// iid loss, bounded retries, optional partition window). The default
+  /// ideal() resolves to the historical uniform[10ms, 100ms] draw and is
+  /// bit-identical to pre-transport tallies at pinned seeds; the net=
+  /// override selects lan / wan / lossy / straggler / partition-heal axes.
+  dht::TransportModel transport;
+
   // -- execution ---------------------------------------------------------------
   /// Independent worlds the budget is split across. Worlds shard over the
   /// sweep pool and merge in ascending index order, so the scenario tally
@@ -83,6 +91,15 @@ struct ScenarioSpec {
   std::size_t malicious_count() const;
   /// Budget of world `index` (earlier worlds absorb the remainder).
   std::size_t sessions_in_world(std::size_t index) const;
+  /// True when the transport keeps the exact-at-tr delivery contract for
+  /// this geometry (mirrors E2eScenario::exact_delivery; 1.0 is the
+  /// SessionConfig assembly_delay every fleet world uses). The timing
+  /// gates in bench/service_load switch from strict equality to the
+  /// reap_slack lateness bound when this is false.
+  bool exact_delivery() const {
+    return transport.resolved(0.010, 0.100)
+        .guarantees_exact_delivery(holding_period(), 1.0);
+  }
 
   /// Throws PreconditionError with a field-naming message on any invalid
   /// combination (zero population/sessions, p outside [0,1], alpha <= 0,
@@ -103,7 +120,10 @@ ScenarioSpec find_scenario(const std::string& name);
 ///   carriers, threshold, transient, backend (chord|kademlia),
 ///   scheme (centralized|disjoint|joint|share),
 ///   arrival (deterministic|poisson|diurnal|flash-crowd),
-///   lifetime (exponential|weibull|pareto|trace), lifetime-shape.
+///   lifetime (exponential|weibull|pareto|trace), lifetime-shape,
+///   net (ideal|lan|wan|lossy|straggler|partition-heal, with optional
+///   ';'-separated sub-keys after a ':', e.g. net=lossy:p=0.05;retries=2 —
+///   see dht::TransportModel::parse).
 /// Throws PreconditionError with the offending token on malformed input;
 /// the result is validate()d before it is returned.
 ScenarioSpec parse_scenario(const std::string& text);

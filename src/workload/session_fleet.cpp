@@ -44,6 +44,7 @@ void FleetTally::merge(const FleetTally& other) {
   events_executed += other.events_executed;
   horizon = std::max(horizon, other.horizon);
   worlds += other.worlds;
+  transport.merge(other.transport);
 }
 
 namespace {
@@ -101,9 +102,9 @@ namespace {
 
 /// Per-session state parked in a stable-address arena slot. A slot is
 /// reused (optional re-emplaced) as soon as its session is reaped; every
-/// simulator event a session schedules fires at or before tr, and the
-/// reaper runs kReapGrace after tr, so no event can outlive its slot
-/// tenancy.
+/// simulator event a session schedules fires at or before tr plus the
+/// transport's reap_slack (zero for ideal), and the reaper runs kReapGrace
+/// past that, so no event can outlive its slot tenancy.
 struct Slot {
   std::optional<core::TimedReleaseSession> session;
   std::unique_ptr<core::Adversary> adversary;
@@ -148,6 +149,7 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
     // O(log n) joins: a service world sees thousands of churn joins, and
     // periodic fix_fingers converges the copied tables (perf suite model).
     cfg.exact_join_fingers = false;
+    cfg.transport = s.transport;
     chord = std::make_unique<dht::ChordNetwork>(sim, net_rng, cfg);
     chord->bootstrap(s.population);
     net = chord.get();
@@ -155,6 +157,7 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
     dht::KademliaConfig cfg;
     cfg.run_maintenance = s.churn;
     cfg.republish_interval = 240.0;
+    cfg.transport = s.transport;
     kademlia = std::make_unique<dht::KademliaNetwork>(sim, net_rng, cfg);
     kademlia->bootstrap(s.population);
     net = kademlia.get();
@@ -203,6 +206,13 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
                                     ? core::PathShape{1, 1}
                                     : s.shape;
   const double th = s.emerging_time / static_cast<double>(shape.l);
+  // A lossy/partitioned transport can land a session's last protocol
+  // events (clamped forwards, retransmitted deliveries) after tr +
+  // kReapGrace; widen the reap schedule so no session event can outlive
+  // its slot tenancy. Exactly zero for the ideal default, keeping every
+  // historical reap instant — and therefore the tally fingerprint —
+  // bit-identical.
+  const double reap_slack = s.transport.reap_slack(shape.l);
 
   core::SessionConfig config;
   config.kind = s.scheme == core::SchemeKind::kCentralized
@@ -312,7 +322,7 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
             [adversary, &sim]() { adversary->attempt_restore(sim.now()); });
       }
     }
-    sim.schedule_at(slot.release_time + kReapGrace,
+    sim.schedule_at(slot.release_time + kReapGrace + reap_slack,
                     [&reap, slot_index]() { reap(slot_index); });
   };
 
@@ -349,6 +359,7 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
   out.events_executed = sim.executed_events();
   out.horizon = sim.now();
   out.stray_packages = dispatcher.stray_packages();
+  out.transport.merge(net->transport_stats());
   if (churn.has_value()) {
     out.churn_deaths = churn->deaths();
     out.churn_transients = churn->transient_outages();

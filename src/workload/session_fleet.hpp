@@ -76,6 +76,13 @@ struct FleetTally {
   double horizon = 0.0;                 ///< virtual end time (max)
   std::uint64_t worlds = 0;
 
+  /// Summed transport counters of every world's network. Deliberately NOT
+  /// part of fingerprint(): the protocol-outcome digest is pinned to
+  /// pre-transport history (the ideal() bit-identity golden); transport
+  /// counters carry their own TransportStats::fingerprint() for the
+  /// thread-invariance gates.
+  dht::TransportStats transport;
+
   void merge(const FleetTally& other);
   std::size_t trials() const { return tally.runs(); }
   double drop_rate() const { return tally.drop.rate(); }

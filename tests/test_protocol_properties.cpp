@@ -30,13 +30,14 @@ struct AnyWorld {
   cloud::CloudStore cloud;
 
   AnyWorld(Backend backend, std::uint64_t seed, std::size_t nodes = 64,
-           bool maintenance = false)
+           bool maintenance = false, dht::TransportModel transport = {})
       : rng(seed) {
     if (backend == Backend::kChord) {
       dht::NetworkConfig config;
       config.run_maintenance = maintenance;
       config.replica_repair_interval = 30.0;
       config.stabilize_interval = 15.0;
+      config.transport = transport;
       chord = std::make_unique<dht::ChordNetwork>(sim, rng, config);
       chord->bootstrap(nodes);
       net = chord.get();
@@ -44,6 +45,7 @@ struct AnyWorld {
       dht::KademliaConfig config;
       config.run_maintenance = maintenance;
       config.republish_interval = 30.0;
+      config.transport = transport;
       kademlia = std::make_unique<dht::KademliaNetwork>(sim, rng, config);
       kademlia->bootstrap(nodes);
       net = kademlia.get();
@@ -226,6 +228,93 @@ TEST(ReleaseTiming, ShareSchemeDeliversExactlyAtTrToo) {
   w.sim.run();
   ASSERT_TRUE(session.secret_released());
   EXPECT_DOUBLE_EQ(*session.first_delivery_time(), session.release_time());
+}
+
+// -- release timing under non-ideal transports (PR 6) -------------------------
+
+TEST(ReleaseTiming, ExactAtTrUnderWanTransportForEveryPathLength) {
+  // The transport tolerance contract (protocol.hpp holding_period()): a
+  // transport that guarantees_exact_delivery — wan() does for these th
+  // values (retry ladder 3.5s + L 0.2s + assembly 1s << th) — must keep
+  // first delivery bit-equal to tr on both backends, exactly like ideal().
+  const dht::TransportModel wan = dht::TransportModel::wan();
+  for (Backend backend : {Backend::kChord, Backend::kKademlia}) {
+    for (std::size_t l : {std::size_t{1}, std::size_t{3}, std::size_t{6}}) {
+      AnyWorld w(backend, 400 + l, 64, /*maintenance=*/false, wan);
+      SessionConfig config;
+      config.kind = SchemeKind::kJoint;
+      config.shape = PathShape{2, l};
+      config.emerging_time = 1000.0;  // th = 1000/l: inexact for l = 3 and 6
+      ASSERT_TRUE(wan.guarantees_exact_delivery(
+          config.emerging_time / static_cast<double>(l),
+          config.assembly_delay));
+      TimedReleaseSession session(*w.net, w.cloud, nullptr, config, 177 + l);
+      session.send(bytes_of("wan-timing"), "token");
+      w.sim.run();
+
+      const std::string context =
+          std::string(backend == Backend::kChord ? "chord" : "kademlia") +
+          "/l=" + std::to_string(l);
+      ASSERT_TRUE(session.secret_released()) << context;
+      EXPECT_DOUBLE_EQ(*session.first_delivery_time(), session.release_time())
+          << context;
+    }
+  }
+}
+
+TEST(ReleaseTiming, IdealTransportStaysExactAtTr) {
+  // The explicit ideal() spelling must behave identically to the default
+  // (it resolves to the same uniform law), pinning the resolved() path.
+  const dht::TransportModel ideal = dht::TransportModel::ideal();
+  AnyWorld w(Backend::kChord, 61, 64, /*maintenance=*/false, ideal);
+  SessionConfig config;
+  config.kind = SchemeKind::kJoint;
+  config.shape = PathShape{2, 3};
+  config.emerging_time = 900.0;
+  TimedReleaseSession session(*w.net, w.cloud, nullptr, config, 62);
+  session.send(bytes_of("ideal-timing"), "token");
+  w.sim.run();
+  ASSERT_TRUE(session.secret_released());
+  EXPECT_DOUBLE_EQ(*session.first_delivery_time(), session.release_time());
+}
+
+TEST(ReleaseTiming, PartitionOutageDeliversLateButWithinReapSlack) {
+  // A global outage window (zone_count = 1 partition: every attempt in
+  // [start, end) is deterministically dropped) straddling a column
+  // deadline. The retry ladder must carry the forward across the heal, the
+  // protocol clamps the late hop to now, and delivery lands at or after tr
+  // but within reap_slack — never crashing on the "time in the past"
+  // precondition the pre-PR scheduler would have hit.
+  dht::TransportModel outage;  // kIdeal latency law, explicit loss model
+  outage.max_retries = 8;
+  outage.retry_timeout = 2.0;
+  outage.retry_backoff = 2.0;
+  // th = 300: the column-2 -> column-3 forward fires at t = 600, inside the
+  // window. Ladder attempts land at 600 + 2*(2^n - 1) = 602, 606, ...,
+  // 854 — all still inside — until the 8th retry at t = 1110 clears the
+  // heal AND tr (900), forcing a genuinely late terminal delivery.
+  outage.partition_start = 590.0;
+  outage.partition_end = 1000.0;
+  const std::size_t l = 3;
+  AnyWorld w(Backend::kChord, 71, 64, /*maintenance=*/false, outage);
+  SessionConfig config;
+  config.kind = SchemeKind::kJoint;
+  config.shape = PathShape{2, l};
+  config.emerging_time = 900.0;
+  ASSERT_FALSE(w.net->transport().guarantees_exact_delivery(
+      config.emerging_time / static_cast<double>(l), config.assembly_delay));
+  TimedReleaseSession session(*w.net, w.cloud, nullptr, config, 72);
+  session.send(bytes_of("partition-timing"), "token");
+  w.sim.run();
+
+  ASSERT_TRUE(session.secret_released());
+  const double offset =
+      *session.first_delivery_time() - session.release_time();
+  EXPECT_GT(offset, 0.0);  // the outage genuinely delayed delivery past tr
+  EXPECT_LE(offset, w.net->transport().reap_slack(l));
+  // The outage left real marks in the transport counters.
+  EXPECT_GT(w.net->transport_stats().dropped, 0u);
+  EXPECT_GT(w.net->transport_stats().retried, 0u);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event simulator.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -295,6 +296,64 @@ TEST(Simulator, NextEventTimePeeksHeadAndPurgesCancelledTombstones) {
 
   sim.run_until(10.0);
   EXPECT_FALSE(sim.next_event_time().has_value());
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps) {
+  // Transport regression (PR 6): equal-timestamp events must fire in
+  // scheduling order. A retransmit scheduled after an original send that
+  // lands on the same instant must never overtake it — the retry chain's
+  // determinism (and the TransportStats ordering) depends on it.
+  Simulator sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_at(7.0, [&fired, i] { fired.push_back(i); });
+  }
+  sim.run();
+  std::vector<int> expect(16);
+  for (int i = 0; i < 16; ++i) expect[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(Simulator, FifoSurvivesCancelledPeersAtTheSameTimestamp) {
+  // Same-instant FIFO with tombstones interleaved: cancelling some peers
+  // (including the head) must not reorder the survivors, and a
+  // next_event_time() peek mid-way (which purges cancelled heads) must not
+  // disturb the order either.
+  Simulator sim;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(sim.schedule_at(3.0, [&fired, i] { fired.push_back(i); }));
+  }
+  sim.cancel(ids[0]);  // head tombstone
+  sim.cancel(ids[3]);
+  sim.cancel(ids[7]);  // tail tombstone
+  ASSERT_TRUE(sim.next_event_time().has_value());  // purges the head tombstone
+  EXPECT_DOUBLE_EQ(*sim.next_event_time(), 3.0);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 4, 5, 6}));
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, RetransmitScheduledLaterNeverOvertakesOriginalSend) {
+  // The concrete transport shape: an "original" delivery at t=1.0 and a
+  // "retransmit" scheduled afterwards for the same t=1.0 (a zero backoff
+  // step, or two retry ladders colliding). Events scheduled from inside an
+  // event at the current instant also run after everything already queued
+  // at that instant.
+  Simulator sim;
+  std::vector<std::string> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back("original");
+    // Re-entrant schedule at now: must fire this same instant, after the
+    // already-queued retransmit below.
+    sim.schedule_at(1.0, [&] { order.push_back("nested"); });
+  });
+  sim.schedule_at(1.0, [&] { order.push_back("retransmit"); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"original", "retransmit",
+                                             "nested"}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
 }
 
 }  // namespace

@@ -489,7 +489,15 @@ TEST(SessionFleet, RunsEveryRegistryScenarioAtSmokeScale) {
     EXPECT_EQ(t.sessions_delivered + t.tally.drop.successes(), 40u)
         << spec.name;
     EXPECT_EQ(t.payload_mismatches, 0u) << spec.name;
-    EXPECT_EQ(t.delivered_on_time, t.sessions_delivered) << spec.name;
+    if (spec.exact_delivery()) {
+      EXPECT_EQ(t.delivered_on_time, t.sessions_delivered) << spec.name;
+    } else {
+      // Non-exact transports (the partition-heal axis) deliver late but
+      // bounded: within the transport's reap_slack of tr.
+      EXPECT_LE(static_cast<double>(t.max_delivery_offset_ns),
+                spec.transport.reap_slack(spec.shape.l) * 1e9)
+          << spec.name;
+    }
   }
 }
 
