@@ -26,9 +26,22 @@
 //   --matrix                         run every named scenario
 //   --population=N --sessions=N --worlds=N --seed=N   scale overrides
 //   --threads=N                      sweep pool size (never changes tallies)
+//   --domains=N                      within-world parallel domains (0 =
+//                                    legacy serial loop; >= 1 = the windowed
+//                                    domain executor, see sim/domain_executor)
+//   --domains-compare=A,B,...        run each scenario once per listed domain
+//                                    count and gate bit-identical tally AND
+//                                    transport fingerprints across all of
+//                                    them; records wall times and the
+//                                    first-vs-last speedup in the JSON
+//   --min-speedup=X                  fail when the measured domains-compare
+//                                    speedup falls below X (0 = record only;
+//                                    single-core CI hosts should keep this
+//                                    well under 1.0)
 //   --max-seconds=S                  wall-clock gate per scenario (0 = off)
 //   --check-invariance               1-vs-8-thread bit-identity gate
 //   --progress                       heartbeat lines on long runs
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -53,6 +66,10 @@ struct Options {
   std::size_t population = 0;  // 0 = scenario default
   std::size_t sessions = 0;
   std::size_t worlds = 0;
+  std::size_t domains = 0;
+  bool domains_set = false;
+  std::vector<std::size_t> domains_compare;  // empty = no compare mode
+  double min_speedup = 0.0;                  // 0 = record only
   std::uint64_t seed = 0;
   bool seed_set = false;
   double max_seconds = 0.0;  // 0 = no wall gate
@@ -78,6 +95,24 @@ Options parse_options(int argc, char** argv) {
       o.sessions = bench::parse_count(arg.substr(11), 0, "--sessions");
     } else if (arg.rfind("--worlds=", 0) == 0) {
       o.worlds = bench::parse_count(arg.substr(9), 0, "--worlds");
+    } else if (arg.rfind("--domains=", 0) == 0) {
+      o.domains = bench::parse_count(arg.substr(10), 0, "--domains");
+      o.domains_set = true;
+    } else if (arg.rfind("--domains-compare=", 0) == 0) {
+      std::string list = arg.substr(18);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        o.domains_compare.push_back(bench::parse_count(
+            list.substr(pos, comma - pos), 1, "--domains-compare"));
+        pos = comma + 1;
+      }
+    } else if (arg.rfind("--min-speedup=", 0) == 0) {
+      try {
+        o.min_speedup = std::stod(arg.substr(14));
+      } catch (...) {
+        std::cerr << "# warning: ignoring malformed " << arg << "\n";
+      }
     } else if (arg.rfind("--seed=", 0) == 0) {
       o.seed = bench::parse_count(arg.substr(7), 0, "--seed");
       o.seed_set = true;
@@ -98,6 +133,7 @@ void apply_scale(ScenarioSpec& spec, const Options& o) {
   if (o.population > 0) spec.population = o.population;
   if (o.sessions > 0) spec.sessions = o.sessions;
   if (o.worlds > 0) spec.worlds = o.worlds;
+  if (o.domains_set) spec.domains = o.domains;
   if (o.seed_set) spec.seed = o.seed;
   spec.validate();
 }
@@ -253,7 +289,8 @@ int main(int argc, char** argv) {
                           o.matrix ? "matrix" : specs[0].name, specs[0].seed);
   core::FigureTable table(
       "service_load",
-      {"idx", "population", "sessions", "worlds", "wall_s", "sessions_per_s",
+      {"idx", "population", "sessions", "worlds", "domains", "wall_s",
+       "sessions_per_s",
        "horizon_vs", "latency_p50_s", "latency_p99_s", "latency_max_s",
        "release_rate", "drop_rate", "deaths", "transients", "peak_live",
        "arena_slots", "events", "net_attempts", "net_dropped", "net_retried",
@@ -261,21 +298,59 @@ int main(int argc, char** argv) {
   std::string caption = "scenarios:";
 
   bool all_pass = true;
+  double compare_speedup = 0.0;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    const ScenarioSpec& spec = specs[i];
-    std::cout << "# running " << spec.name << " (population "
-              << spec.population << ", " << spec.sessions << " sessions, "
-              << spec.worlds << " world(s))\n";
-    ScenarioOutcome out;
-    try {
-      out = run_one(spec, o, sweeps);
-    } catch (const Error& e) {
-      out.pass = false;
-      out.failure = e.what();
-    }
-    const FleetTally& t = out.tally;
-    all_pass = all_pass && out.pass;
-    caption += " " + std::to_string(i) + "=" + spec.name;
+    const ScenarioSpec& base_spec = specs[i];
+    // Compare mode runs the scenario once per listed domain count and gates
+    // bit-identical tally AND transport fingerprints across all of them —
+    // the executor's core determinism claim, as a shippable CI gate.
+    std::vector<std::size_t> domain_counts = o.domains_compare;
+    if (domain_counts.empty()) domain_counts.push_back(base_spec.domains);
+    std::vector<double> walls;
+    std::uint64_t first_fp = 0, first_tfp = 0;
+    caption += " " + std::to_string(i) + "=" + base_spec.name;
+
+    for (std::size_t run = 0; run < domain_counts.size(); ++run) {
+      ScenarioSpec spec = base_spec;
+      spec.domains = domain_counts[run];
+      std::cout << "# running " << spec.name << " (population "
+                << spec.population << ", " << spec.sessions << " sessions, "
+                << spec.worlds << " world(s), domains=" << spec.domains
+                << ")\n";
+      ScenarioOutcome out;
+      try {
+        spec.validate();
+        out = run_one(spec, o, sweeps);
+      } catch (const Error& e) {
+        out.pass = false;
+        out.failure = e.what();
+      }
+      const FleetTally& t = out.tally;
+      walls.push_back(out.wall_seconds);
+      if (run == 0) {
+        first_fp = t.fingerprint();
+        first_tfp = t.transport.fingerprint();
+      } else if (t.fingerprint() != first_fp ||
+                 t.transport.fingerprint() != first_tfp) {
+        fail(out, "tallies not domain-count invariant (domains=" +
+                      std::to_string(spec.domains) + " vs " +
+                      std::to_string(domain_counts[0]) + ")");
+      }
+      if (!o.domains_compare.empty() && run + 1 == domain_counts.size()) {
+        // First-vs-last wall ratio: ~1.0 on single-core hosts (the windowed
+        // schedule adds only barrier overhead), > 1 with real cores.
+        compare_speedup =
+            out.wall_seconds > 0.0 ? walls.front() / out.wall_seconds : 0.0;
+        if (o.min_speedup > 0.0 && compare_speedup < o.min_speedup) {
+          fail(out, "domains-compare speedup " +
+                        std::to_string(compare_speedup) + " below --min-speedup");
+        }
+        for (std::size_t d = 0; d < t.events_per_domain.size(); ++d) {
+          json.set_extra("events_domain_" + std::to_string(d),
+                         static_cast<double>(t.events_per_domain[d]));
+        }
+      }
+      all_pass = all_pass && out.pass;
 
     const double throughput =
         out.wall_seconds > 0.0
@@ -287,7 +362,8 @@ int main(int argc, char** argv) {
     table.add_row({static_cast<double>(i),
                    static_cast<double>(spec.population),
                    static_cast<double>(spec.sessions),
-                   static_cast<double>(spec.worlds), out.wall_seconds,
+                   static_cast<double>(spec.worlds),
+                   static_cast<double>(spec.domains), out.wall_seconds,
                    throughput, t.horizon,
                    us_to_s(t.latency_us.percentile(0.5)),
                    us_to_s(t.latency_us.percentile(0.99)),
@@ -306,7 +382,8 @@ int main(int argc, char** argv) {
                    us_to_s(t.transport.hop_latency_us.max()),
                    out.pass ? 1.0 : 0.0});
 
-    std::cout << spec.name << ": " << t.sessions_started << " sessions in "
+    std::cout << spec.name << " [domains=" << spec.domains << "]: "
+              << t.sessions_started << " sessions in "
               << out.wall_seconds << "s wall (" << throughput
               << "/s), horizon " << t.horizon << "vs, "
               << t.sessions_delivered << " delivered ("
@@ -328,12 +405,23 @@ int main(int argc, char** argv) {
               << t.transport.fingerprint() << ")"
               << (out.pass ? "" : "  << FAILED: " + out.failure)
               << "\n\n";
+    }
+    if (!o.domains_compare.empty()) {
+      std::cout << "# " << base_spec.name
+                << " domains-compare speedup (first vs last): "
+                << compare_speedup << "\n\n";
+    }
   }
 
   table.set_caption(caption);
   json.add_table(table);
   json.set_extra("all_pass", all_pass ? 1.0 : 0.0);
   json.set_extra("check_invariance", o.check_invariance ? 1.0 : 0.0);
+  if (!o.domains_compare.empty()) {
+    json.set_extra("domains_compare", 1.0);
+    json.set_extra("speedup", compare_speedup);
+    json.set_extra("min_speedup", o.min_speedup);
+  }
   json.finish();
 
   if (!all_pass) {

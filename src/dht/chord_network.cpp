@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "sim/execution_context.hpp"
 
 namespace emergence::dht {
 namespace {
@@ -71,6 +72,9 @@ void ChordNetwork::register_alive(const NodeId& id) {
   alive_index_[id] = alive_ids_.size();
   alive_ids_.push_back(id);
   live_ring_.insert(id);
+  // Every node's zone is primed from serial code (bootstrap / churn joins),
+  // so zone_of stays a pure read when domains sample latencies in parallel.
+  transport_.prime_zone(id);
 }
 
 void ChordNetwork::unregister_alive(const NodeId& id) {
@@ -268,12 +272,21 @@ ChordNode* ChordNetwork::live_node(const NodeId& id) {
 
 ChordNode& ChordNetwork::random_live_node() {
   require(!alive_ids_.empty(), "ChordNetwork: no live nodes");
-  return *nodes_.at(alive_ids_[rng_.index(alive_ids_.size())]);
+  // In-window lookups draw the entry pick from the executing session's own
+  // stream (domain-count invariant); barrier/serial code keeps the shared
+  // network stream, preserving the legacy draw sequence bit-for-bit.
+  auto* ctx = sim::ExecutionContext::active_on(&simulator_);
+  Rng& rng = (ctx != nullptr && ctx->rng != nullptr) ? *ctx->rng : rng_;
+  return *nodes_.at(alive_ids_[rng.index(alive_ids_.size())]);
 }
 
 LookupResult ChordNetwork::lookup(const NodeId& key) {
   const LookupResult result = random_live_node().find_successor(key);
-  lookup_stats_.record(result);
+  auto* ctx = sim::ExecutionContext::active_on(&simulator_);
+  LookupStats& stats = (ctx != nullptr && ctx->lookup_stats != nullptr)
+                           ? *ctx->lookup_stats
+                           : lookup_stats_;
+  stats.record(result);
   return result;
 }
 
@@ -378,7 +391,13 @@ void ChordNetwork::set_message_handler(const NodeId& node_id,
 void ChordNetwork::send_message(const NodeId& from, const NodeId& to,
                                 SharedBytes payload) {
   require(payload != nullptr, "ChordNetwork::send_message: null payload");
-  transport_.send(simulator_, rng_, transport_stats_, from, to,
+  auto* ctx = sim::ExecutionContext::active_on(&simulator_);
+  Rng& rng = (ctx != nullptr && ctx->rng != nullptr) ? *ctx->rng : rng_;
+  TransportStats& stats =
+      (ctx != nullptr && ctx->transport_stats != nullptr)
+          ? *ctx->transport_stats
+          : transport_stats_;
+  transport_.send(simulator_, rng, stats, from, to,
                   [this, from, to, payload = std::move(payload)]() {
                     ChordNode* dest = live_node(to);
                     if (dest == nullptr) return;  // dead destination: lost
@@ -396,7 +415,13 @@ void ChordNetwork::send_message_routed(const NodeId& from,
                                        SharedBytes payload) {
   require(payload != nullptr,
           "ChordNetwork::send_message_routed: null payload");
-  transport_.send(simulator_, rng_, transport_stats_, from, ring_point,
+  auto* ctx = sim::ExecutionContext::active_on(&simulator_);
+  Rng& rng = (ctx != nullptr && ctx->rng != nullptr) ? *ctx->rng : rng_;
+  TransportStats& stats =
+      (ctx != nullptr && ctx->transport_stats != nullptr)
+          ? *ctx->transport_stats
+          : transport_stats_;
+  transport_.send(simulator_, rng, stats, from, ring_point,
                   [this, from, ring_point, payload = std::move(payload)]() {
                     const LookupResult result = lookup(ring_point);
                     if (!result.ok) return;

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/error.hpp"
+#include "sim/execution_context.hpp"
 
 namespace emergence::dht {
 
@@ -105,6 +106,9 @@ void KademliaNetwork::register_alive(const NodeId& id) {
   alive_index_[id] = alive_ids_.size();
   alive_ids_.push_back(id);
   live_ring_.insert(id);
+  // Every node's zone is primed from serial code (bootstrap / churn joins),
+  // so zone_of stays a pure read when domains sample latencies in parallel.
+  transport_.prime_zone(id);
 }
 
 void KademliaNetwork::unregister_alive(const NodeId& id) {
@@ -249,14 +253,28 @@ LookupResult KademliaNetwork::iterative_find(const NodeId& key) {
     result.ok = false;
     return result;
   }
+  // In-window lookups draw the entry pick from the executing session's own
+  // stream (domain-count invariant); barrier/serial code keeps the shared
+  // network stream, preserving the legacy draw sequence bit-for-bit.
+  auto* ctx = sim::ExecutionContext::active_on(&simulator_);
+  Rng& rng = (ctx != nullptr && ctx->rng != nullptr) ? *ctx->rng : rng_;
   KademliaNode& origin =
-      *nodes_.at(alive_ids_[rng_.index(alive_ids_.size())]);
+      *nodes_.at(alive_ids_[rng.index(alive_ids_.size())]);
   return iterative_find_from(origin, key);
 }
 
 LookupResult KademliaNetwork::iterative_find_from(KademliaNode& origin,
                                                   const NodeId& key) {
   LookupResult result;
+  // Executor windows run lookups READ-ONLY: the k-bucket adaptation a
+  // lookup normally performs (observe/drop contacts) would both race across
+  // parallel domains and make routing tables depend on the domain count.
+  // Barrier-time and legacy-serial lookups still adapt exactly as before.
+  sim::ExecutionContext* ctx = sim::ExecutionContext::active_on(&simulator_);
+  const bool read_only = ctx != nullptr;
+  LookupStats& stats = (ctx != nullptr && ctx->lookup_stats != nullptr)
+                           ? *ctx->lookup_stats
+                           : lookup_stats_;
   // Shortlist of closest known contacts, queried nearest-first. The origin
   // never queries itself (but may legitimately be the result).
   std::vector<NodeId> shortlist =
@@ -295,7 +313,7 @@ LookupResult KademliaNetwork::iterative_find_from(KademliaNode& origin,
       queried[candidate] = true;
       KademliaNode* n = live_node(candidate);
       if (n == nullptr) {
-        origin.drop_contact(candidate);
+        if (!read_only) origin.drop_contact(candidate);
         continue;
       }
       target = n;
@@ -305,7 +323,7 @@ LookupResult KademliaNetwork::iterative_find_from(KademliaNode& origin,
     ++hops;
 
     // The queried node returns its closest contacts and learns about us.
-    target->observe_contact(origin.id(), config_.bucket_size);
+    if (!read_only) target->observe_contact(origin.id(), config_.bucket_size);
     const std::vector<NodeId> contacts =
         target->closest_contacts(key, config_.bucket_size);
     bool improved = false;
@@ -315,7 +333,7 @@ LookupResult KademliaNetwork::iterative_find_from(KademliaNode& origin,
         shortlist.push_back(c);
         improved = true;
       }
-      origin.observe_contact(c, config_.bucket_size);
+      if (!read_only) origin.observe_contact(c, config_.bucket_size);
     }
     if (improved) sort_shortlist();
   }
@@ -325,12 +343,12 @@ LookupResult KademliaNetwork::iterative_find_from(KademliaNode& origin,
     if (live_node(candidate) != nullptr) {
       result.node = candidate;
       result.hops = hops;
-      lookup_stats_.record(result);
+      stats.record(result);
       return result;
     }
   }
   result.ok = false;
-  lookup_stats_.record(result);
+  stats.record(result);
   return result;
 }
 
@@ -430,7 +448,13 @@ void KademliaNetwork::deliver(const NodeId& from, const NodeId& to,
 void KademliaNetwork::send_message(const NodeId& from, const NodeId& to,
                                    SharedBytes payload) {
   require(payload != nullptr, "KademliaNetwork::send_message: null payload");
-  transport_.send(simulator_, rng_, transport_stats_, from, to,
+  auto* ctx = sim::ExecutionContext::active_on(&simulator_);
+  Rng& rng = (ctx != nullptr && ctx->rng != nullptr) ? *ctx->rng : rng_;
+  TransportStats& stats =
+      (ctx != nullptr && ctx->transport_stats != nullptr)
+          ? *ctx->transport_stats
+          : transport_stats_;
+  transport_.send(simulator_, rng, stats, from, to,
                   [this, from, to, payload = std::move(payload)]() {
                     deliver(from, to, *payload);
                   });
@@ -441,7 +465,13 @@ void KademliaNetwork::send_message_routed(const NodeId& from,
                                           SharedBytes payload) {
   require(payload != nullptr,
           "KademliaNetwork::send_message_routed: null payload");
-  transport_.send(simulator_, rng_, transport_stats_, from, ring_point,
+  auto* ctx = sim::ExecutionContext::active_on(&simulator_);
+  Rng& rng = (ctx != nullptr && ctx->rng != nullptr) ? *ctx->rng : rng_;
+  TransportStats& stats =
+      (ctx != nullptr && ctx->transport_stats != nullptr)
+          ? *ctx->transport_stats
+          : transport_stats_;
+  transport_.send(simulator_, rng, stats, from, ring_point,
                   [this, from, ring_point, payload = std::move(payload)]() {
                     const LookupResult result = lookup(ring_point);
                     if (!result.ok) return;

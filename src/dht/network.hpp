@@ -45,6 +45,14 @@ struct LookupStats {
     total_hops += static_cast<std::uint64_t>(result.hops);
     if (!result.ok) ++failures;
   }
+
+  /// Exact merge (integer sums): associative and commutative, so the
+  /// executor's per-domain shards fold back in any order bit-identically.
+  void merge(const LookupStats& other) {
+    lookups += other.lookups;
+    total_hops += other.total_hops;
+    failures += other.failures;
+  }
 };
 
 /// Handler for application messages delivered to a node.

@@ -305,6 +305,21 @@ double TransportModel::max_single_latency() const {
   return max_latency;
 }
 
+double TransportModel::min_single_latency() const {
+  switch (kind) {
+    case LatencyKind::kIdeal:
+    case LatencyKind::kUniform:
+      return min_latency;  // resolved() gives kIdeal the historical floor
+    case LatencyKind::kFixed:
+      return max_latency;  // the constant
+    case LatencyKind::kLogNormal:
+      return min_latency;  // the truncation floor (0 when unset)
+    case LatencyKind::kZoned:
+      return intra_min < inter_min ? intra_min : inter_min;
+  }
+  return min_latency;
+}
+
 double TransportModel::retry_delay_sum() const {
   double sum = 0.0;
   double delay = retry_timeout;
@@ -336,10 +351,7 @@ double TransportModel::reap_slack(std::size_t path_length) const {
          partition_length();
 }
 
-std::size_t TransportModel::zone_of(const NodeId& id) const {
-  if (zone_count <= 1) return 0;
-  const auto cached = zone_cache_.find(id);
-  if (cached != zone_cache_.end()) return cached->second;
+std::size_t TransportModel::compute_zone(const NodeId& id) const {
   // Stream id: the id's first 8 bytes (big-endian). fork() is a pure
   // function of (zone_seed, stream), so the assignment is identical across
   // worlds, threads and reruns.
@@ -347,9 +359,22 @@ std::size_t TransportModel::zone_of(const NodeId& id) const {
   for (std::size_t i = 0; i < 8; ++i) {
     stream = (stream << 8) | id.bytes()[i];
   }
-  const std::size_t zone = Rng(zone_seed).fork(stream).index(zone_count);
-  zone_cache_.emplace(id, zone);
-  return zone;
+  return Rng(zone_seed).fork(stream).index(zone_count);
+}
+
+std::size_t TransportModel::zone_of(const NodeId& id) const {
+  if (zone_count <= 1) return 0;
+  const auto cached = zone_cache_.find(id);
+  if (cached != zone_cache_.end()) return cached->second;
+  // Unprimed id (a test probing an arbitrary id): compute without
+  // memoizing. Inserting here from a const path was the zone-cache data
+  // race; correctness never depended on the memo, only speed.
+  return compute_zone(id);
+}
+
+void TransportModel::prime_zone(const NodeId& id) {
+  if (zone_count <= 1) return;
+  zone_cache_.emplace(id, compute_zone(id));
 }
 
 bool TransportModel::cross_zone(const NodeId& from, const NodeId& to) const {

@@ -124,6 +124,13 @@ struct TransportModel {
   /// Worst-case latency of one successful attempt (Network::
   /// max_message_latency; the session precondition th > assembly + 4*L).
   double max_single_latency() const;
+  /// Best-case latency of one successful attempt: the floor of the latency
+  /// law. This is the domain executor's conservative lookahead — the
+  /// soonest a message sent at a window barrier can become a domain event.
+  /// 0 for laws without a configured floor (the executor rejects that and
+  /// asks for an explicit epsilon; resolved ideal() has the historical
+  /// 10ms floor).
+  double min_single_latency() const;
   /// Sum of all retransmit delays: timeout * (1 + b + ... + b^(r-1)).
   double retry_delay_sum() const;
   bool has_partition() const { return partition_end > partition_start; }
@@ -150,9 +157,17 @@ struct TransportModel {
 
   // -- zones -------------------------------------------------------------------
   /// Deterministic zone of a node: Rng(zone_seed).fork(id-prefix) mod
-  /// zone_count. Pure in (zone_seed, id); memoized per model instance.
+  /// zone_count. Pure in (zone_seed, id). Reads the primed cache when the
+  /// id is known, otherwise computes from scratch WITHOUT memoizing —
+  /// zone_of is logically const and must stay safe to call concurrently
+  /// from parallel domains (the old lazily-filled mutable cache was a data
+  /// race the moment two domains sampled latencies on one resolved model).
   std::size_t zone_of(const NodeId& id) const;
   bool cross_zone(const NodeId& from, const NodeId& to) const;
+  /// Precomputes `id`'s zone into the cache. Networks prime every node at
+  /// bootstrap/add_node time — both are serial barrier-phase operations, so
+  /// the cache is read-only whenever domains run in parallel.
+  void prime_zone(const NodeId& id);
 
   // -- engine ------------------------------------------------------------------
   /// One latency sample for a (possibly cross-zone) link. Draw counts per
@@ -173,9 +188,12 @@ struct TransportModel {
                bool cross, std::function<void()> deliver,
                std::size_t attempt_index) const;
 
-  /// Zone memo: zone_of is pure in the id, so the cache never invalidates
-  /// (churn rejoins reuse ids). Mutable because sampling is logically const.
-  mutable std::unordered_map<NodeId, std::size_t, NodeIdHash> zone_cache_;
+  /// Zone cache: zone_of is pure in the id, so entries never invalidate
+  /// (churn rejoins reuse ids). Filled ONLY via prime_zone() from serial
+  /// code; const paths read it without ever inserting, keeping concurrent
+  /// sampling race-free.
+  std::size_t compute_zone(const NodeId& id) const;
+  std::unordered_map<NodeId, std::size_t, NodeIdHash> zone_cache_;
 };
 
 }  // namespace emergence::dht

@@ -22,6 +22,7 @@
 // workload/session_fleet.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -50,7 +51,9 @@ class SessionDispatcher {
   std::size_t tracked_storage_keys() const { return by_storage_key_.size(); }
   /// Protocol packages whose nonce matched no live session (late arrivals
   /// for retired sessions; harmless, but worth counting).
-  std::uint64_t stray_packages() const { return stray_packages_; }
+  std::uint64_t stray_packages() const {
+    return stray_packages_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class TimedReleaseSession;
@@ -65,7 +68,9 @@ class SessionDispatcher {
   std::unordered_map<std::uint64_t, TimedReleaseSession*> by_nonce_;
   std::unordered_map<dht::NodeId, TimedReleaseSession*, dht::NodeIdHash>
       by_storage_key_;
-  std::uint64_t stray_packages_ = 0;
+  /// Atomic: stray deliveries fire inside parallel executor windows (the
+  /// routing maps themselves only mutate at serial barriers — send/retire).
+  std::atomic<std::uint64_t> stray_packages_{0};
 };
 
 }  // namespace emergence::core

@@ -1,0 +1,164 @@
+#include "sim/domain_executor.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace emergence::sim {
+
+/// Round barrier shared with the workers: the driver publishes a window end
+/// and a generation bump, workers run their domains and report back. All
+/// handoffs go through one mutex, which also establishes the happens-before
+/// edges the frozen-world reads rely on.
+struct DomainExecutor::PoolState {
+  std::mutex mutex;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  std::size_t running = 0;
+  Time window_end = 0.0;
+  bool shutdown = false;
+};
+
+DomainExecutor::DomainExecutor(Simulator& global, std::size_t domains,
+                               double lookahead, std::size_t threads)
+    : global_(global), lookahead_(lookahead) {
+  require(domains >= 1, "DomainExecutor: need at least one domain");
+  require(domains <= 1024, "DomainExecutor: domain count capped at 1024");
+  require(lookahead > 0.0,
+          "DomainExecutor: lookahead must be > 0 (a zero-latency transport "
+          "has no conservative window; configure an explicit epsilon — see "
+          "docs/architecture.md, 'Parallel execution model')");
+  for (std::size_t i = 0; i < domains; ++i) domains_.emplace_back();
+
+  std::size_t pool = threads;
+  if (pool == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    pool = std::min<std::size_t>(domains, hw == 0 ? 1 : hw);
+  }
+  pool = std::min(pool, domains);
+  if (pool > 1) {
+    pool_ = std::make_unique<PoolState>();
+    workers_.reserve(pool);
+    for (std::size_t w = 0; w < pool; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+}
+
+DomainExecutor::~DomainExecutor() {
+  if (pool_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(pool_->mutex);
+      pool_->shutdown = true;
+    }
+    pool_->start_cv.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+}
+
+void DomainExecutor::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Time end = 0.0;
+    {
+      std::unique_lock<std::mutex> lock(pool_->mutex);
+      pool_->start_cv.wait(lock, [&] {
+        return pool_->shutdown || pool_->generation != seen;
+      });
+      if (pool_->shutdown) return;
+      seen = pool_->generation;
+      end = pool_->window_end;
+    }
+    // Static stride: domain d belongs to worker d % workers. Results do not
+    // depend on the assignment (domains are independent); only wall-clock
+    // does.
+    for (std::size_t d = worker_index; d < domains_.size();
+         d += workers_.size()) {
+      domains_[d].rebind_owner();
+      domains_[d].run_before(end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool_->mutex);
+      --pool_->running;
+    }
+    pool_->done_cv.notify_one();
+  }
+}
+
+void DomainExecutor::run_window(Time end) {
+  if (pool_ == nullptr) {
+    // Serial window pass: identical schedule, no handoff. The single-core /
+    // single-domain fallback the bit-identity gates compare against.
+    for (Simulator& d : domains_) {
+      d.rebind_owner();
+      d.run_before(end);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_->mutex);
+    pool_->window_end = end;
+    pool_->running = workers_.size();
+    ++pool_->generation;
+  }
+  pool_->start_cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(pool_->mutex);
+    pool_->done_cv.wait(lock, [&] { return pool_->running == 0; });
+  }
+}
+
+bool DomainExecutor::run_round() {
+  // The earliest pending event anywhere. The union of queues is invariant
+  // under the domain partition, so the resulting window sequence is too.
+  // All queues are quiescent between rounds, so peeking (and the tombstone
+  // purge inside next_event_time) is safe from the driver thread.
+  std::optional<Time> earliest = global_.next_event_time();
+  for (Simulator& d : domains_) {
+    d.rebind_owner();
+    const std::optional<Time> t = d.next_event_time();
+    if (t.has_value() && (!earliest.has_value() || *t < *earliest)) {
+      earliest = t;
+    }
+  }
+  if (!earliest.has_value()) return false;
+
+  const Time window_start = std::max(global_.raw_now(), *earliest);
+  const Time window_end = window_start + lookahead_;
+
+  // Barrier phase: every shared-state mutation, serial, in (time, seq)
+  // order. Session setups redirect their future events into domain queues.
+  global_.rebind_owner();
+  global_.run_before(window_end);
+
+  // Window phase: frozen world, per-domain queues in parallel.
+  run_window(window_end);
+  ++rounds_;
+  return true;
+}
+
+bool DomainExecutor::run(const std::function<bool()>& stop) {
+  for (;;) {
+    if (stop && stop()) return true;
+    if (!run_round()) return false;
+  }
+}
+
+std::uint64_t DomainExecutor::domain_events_executed() const {
+  std::uint64_t total = 0;
+  for (const Simulator& d : domains_) total += d.executed_events();
+  return total;
+}
+
+std::vector<std::uint64_t> DomainExecutor::events_per_domain() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(domains_.size());
+  for (const Simulator& d : domains_) out.push_back(d.executed_events());
+  return out;
+}
+
+}  // namespace emergence::sim

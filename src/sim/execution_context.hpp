@@ -1,0 +1,114 @@
+// Thread-local execution context for domain-sharded parallel execution.
+//
+// The protocol stack schedules everything on "the" world Simulator it got
+// from its Network. The domain executor (sim/domain_executor.hpp) instead
+// runs session traffic on D per-domain event queues inside conservative
+// time windows, and it must do so WITHOUT teaching every layer about
+// domains. An ExecutionContext is the seam: while one is active on the
+// current thread, calls to the intercepted world simulator's schedule_at /
+// schedule_in / now() are redirected to the context's domain queue and
+// clock, and the DHT layers swap their shared Rng / TransportStats /
+// LookupStats for the context's per-session / per-domain instances (the
+// shared ones would race across domains and make draw order depend on the
+// domain count).
+//
+// Events scheduled through a context inherit it: the redirect wraps the
+// action so the same context (with the domain queue as its clock) is
+// reinstalled when the event later fires on a worker thread. A session's
+// whole event tree — package deliveries, assembly, forwards, transport
+// retransmits, adversary probes — therefore carries one context and one
+// private draw stream, which is what makes the executor's schedule
+// independent of both the domain count and the thread count.
+//
+// The dht:: stats types are forward-declared; this header adds no
+// dependency from sim/ onto dht/ (only pointers cross the seam).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace emergence {
+class Rng;
+}
+namespace emergence::dht {
+struct TransportStats;
+struct LookupStats;
+}  // namespace emergence::dht
+
+namespace emergence::sim {
+
+/// The per-event execution environment of domain-sharded runs. Plain value:
+/// Scope installs a copy thread-locally, redirected events capture a copy.
+class ExecutionContext {
+ public:
+  /// The simulator being intercepted (the world sim every layer holds).
+  Simulator* world = nullptr;
+  /// The domain event queue redirected schedules land on.
+  Simulator* domain = nullptr;
+  /// Authoritative clock for now(): the world sim while a barrier-phase
+  /// event (session setup) runs, the domain sim while a window event runs.
+  const Simulator* clock = nullptr;
+  /// Per-session draw stream replacing the network's shared Rng (transport
+  /// latency/drop draws, lookup entry sampling).
+  Rng* rng = nullptr;
+  /// Per-domain stats replacing the network's shared accumulators; merged
+  /// commutatively after the run, so totals are domain-count invariant.
+  dht::TransportStats* transport_stats = nullptr;
+  dht::LookupStats* lookup_stats = nullptr;
+
+  /// The context installed on the current thread, or nullptr.
+  static ExecutionContext* active() { return active_; }
+  /// active(), but only when it intercepts `world` (the redirect guard the
+  /// Simulator entry points use).
+  static ExecutionContext* active_on(const Simulator* world) {
+    ExecutionContext* ctx = active_;
+    return (ctx != nullptr && ctx->world == world) ? ctx : nullptr;
+  }
+
+  /// The logical time of the executing event.
+  Time now() const { return clock->raw_now(); }
+
+  /// Redirects a world schedule into the domain queue: clamps to the
+  /// context clock, wraps the action so this context (clocked on the
+  /// domain) is re-installed when it fires. Defined after Scope below.
+  EventId schedule_at(Time at, std::function<void()> action);
+
+  /// RAII installer: activates a copy of `ctx` on this thread, restores the
+  /// previous context (usually none) on destruction. Defined after the
+  /// class (it holds an ExecutionContext by value).
+  class Scope;
+
+ private:
+  static inline thread_local ExecutionContext* active_ = nullptr;
+};
+
+class ExecutionContext::Scope {
+ public:
+  explicit Scope(const ExecutionContext& ctx)
+      : installed_(ctx), previous_(active_) {
+    active_ = &installed_;
+  }
+  ~Scope() { active_ = previous_; }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  ExecutionContext installed_;
+  ExecutionContext* previous_;
+};
+
+inline EventId ExecutionContext::schedule_at(Time at,
+                                             std::function<void()> action) {
+  ExecutionContext inherited = *this;
+  inherited.clock = inherited.domain;
+  if (at < now()) at = now();  // same clamp rule as Simulator::schedule_at
+  return domain->schedule_at(
+      at, [inherited, action = std::move(action)]() mutable {
+        Scope scope(inherited);
+        action();
+      });
+}
+
+}  // namespace emergence::sim

@@ -1,11 +1,37 @@
 #include "sim/simulator.hpp"
 
+#include <cassert>
+
 #include "common/error.hpp"
+#include "sim/execution_context.hpp"
 
 namespace emergence::sim {
 
+void Simulator::assert_owner() const {
+#ifndef NDEBUG
+  // Binds to the first mutating thread; the executor rebinds explicitly at
+  // every barrier/window handoff, so a genuine cross-thread touch of a
+  // queue mid-window trips here instead of racing silently.
+  if (owner_ == std::thread::id{}) owner_ = std::this_thread::get_id();
+  assert(owner_ == std::this_thread::get_id() &&
+         "Simulator used from a thread that does not own its queue");
+#endif
+}
+
+void Simulator::rebind_owner() {
+#ifndef NDEBUG
+  owner_ = std::this_thread::get_id();
+#endif
+}
+
 EventId Simulator::schedule_at(Time at, std::function<void()> action) {
-  require(at >= now_, "Simulator::schedule_at: time in the past");
+  if (ExecutionContext* ctx = ExecutionContext::active_on(this)) {
+    return ctx->schedule_at(at, std::move(action));
+  }
+  assert_owner();
+  // Deterministic past-clamp: an event can never time-travel. The FIFO
+  // tie-break still orders it after everything already pending at now.
+  if (at < now_) at = now_;
   const EventId id = next_id_++;
   queue_.push(Entry{at, id, std::move(action)});
   live_.insert(id);
@@ -16,10 +42,20 @@ EventId Simulator::schedule_at(Time at, std::function<void()> action) {
 
 EventId Simulator::schedule_in(Time delay, std::function<void()> action) {
   require(delay >= 0.0, "Simulator::schedule_in: negative delay");
-  return schedule_at(now_ + delay, std::move(action));
+  // now() (not now_) so a redirected schedule offsets from the context
+  // clock — the executing domain event's logical time.
+  return schedule_at(now() + delay, std::move(action));
+}
+
+Time Simulator::now() const {
+  if (const ExecutionContext* ctx = ExecutionContext::active_on(this)) {
+    return ctx->now();
+  }
+  return now_;
 }
 
 void Simulator::cancel(EventId id) {
+  assert_owner();
   if (live_.erase(id) > 0) {
     cancelled_.insert(id);
     ++cancelled_events_;
@@ -36,12 +72,19 @@ bool Simulator::skip_cancelled_head() {
   return false;
 }
 
+void Simulator::purge_cancelled() {
+  assert_owner();
+  skip_cancelled_head();
+}
+
 std::optional<Time> Simulator::next_event_time() {
-  if (!skip_cancelled_head()) return std::nullopt;
+  purge_cancelled();
+  if (queue_.empty()) return std::nullopt;
   return queue_.top().at;
 }
 
 bool Simulator::fire_next() {
+  assert_owner();
   if (!skip_cancelled_head()) return false;
   Entry e = queue_.top();
   queue_.pop();
@@ -61,6 +104,16 @@ void Simulator::run_until(Time deadline) {
   require(deadline >= now_, "Simulator::run_until: deadline in the past");
   while (skip_cancelled_head() && queue_.top().at <= deadline) fire_next();
   now_ = deadline;
+}
+
+void Simulator::run_before(Time end) {
+  require(end >= now_, "Simulator::run_before: window end in the past");
+  assert_owner();
+  // Strictly <: the window owns [now, end), an event exactly at the barrier
+  // belongs to the next window. Events the actions schedule inside the
+  // window are picked up by the same loop.
+  while (skip_cancelled_head() && queue_.top().at < end) fire_next();
+  now_ = end;
 }
 
 std::size_t Simulator::step(std::size_t max_events) {

@@ -3,12 +3,29 @@
 // Virtual time is a double in seconds. Events scheduled for the same instant
 // execute in scheduling order (a monotonically increasing sequence number
 // breaks ties), which makes every run deterministic for a fixed seed.
+//
+// Window semantics (pinned; the domain executor depends on them):
+//   - run_until(deadline) runs events with timestamp <= deadline — the
+//     historical inclusive chunked-progress primitive.
+//   - run_before(end) runs events with timestamp strictly < end: windows are
+//     half-open [start, end), so an event landing exactly on a barrier
+//     belongs to the NEXT window, never to two windows at once.
+//   - schedule_at clamps `at` below now deterministically to now (an event
+//     can never time-travel; protocol.cpp's max(now, ...) forwards and the
+//     transport retry ladder rely on the clamp, regression-tested in
+//     tests/test_sim.cpp).
+//
+// Thread ownership: a Simulator is single-threaded by construction. Debug
+// builds bind the instance to the first thread that uses it and assert on
+// every mutating call; the domain executor rebinds explicitly at window
+// barriers when queues hand over between the driver and its workers.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <queue>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -23,8 +40,14 @@ using EventId = std::uint64_t;
 /// Deterministic discrete-event loop.
 class Simulator {
  public:
-  /// Schedules `action` to run at absolute time `at` (>= now). Returns an id
-  /// usable with cancel().
+  /// Schedules `action` to run at absolute time `at`. A time in the past is
+  /// clamped to now (deterministic, never reordered before already-pending
+  /// same-time events thanks to the FIFO tie-break). Returns an id usable
+  /// with cancel().
+  ///
+  /// When an ExecutionContext is active on this simulator (domain-sharded
+  /// execution; see sim/execution_context.hpp), the event is redirected to
+  /// the context's domain queue instead and carries the context with it.
   EventId schedule_at(Time at, std::function<void()> action);
 
   /// Schedules `action` to run `delay` seconds from now.
@@ -40,18 +63,34 @@ class Simulator {
   /// Runs events with timestamp <= deadline, then sets now to the deadline.
   void run_until(Time deadline);
 
+  /// Runs events with timestamp strictly < end, then sets now to end: the
+  /// half-open [now, end) window primitive of the domain executor. Events
+  /// scheduled exactly at `end` stay queued for the next window.
+  void run_before(Time end);
+
   /// Executes at most `max_events` pending events; returns how many ran.
   std::size_t step(std::size_t max_events);
 
+  /// Pops cancelled tombstones off the queue head. run()/run_until()/
+  /// run_before() do this implicitly; next_event_time() requires it, so the
+  /// purge is part of the single-threaded driver contract — never call any
+  /// of these while another thread touches the queue (debug builds assert
+  /// thread ownership).
+  void purge_cancelled();
+
   /// Timestamp of the earliest live pending event, or nullopt when none.
-  /// Purges cancelled tombstones off the queue head as a side effect (the
-  /// same purge run()/run_until() would do), hence non-const. Drivers that
-  /// interleave virtual time with wall-clock work (the workload fleet's
-  /// chunked progress loop) use this to skip idle gaps instead of spinning
-  /// run_until over empty stretches.
+  /// Calls purge_cancelled() first (an explicit queue mutation, hence
+  /// non-const). Drivers that interleave virtual time with wall-clock work
+  /// (the workload fleet's chunked progress loop, the domain executor's
+  /// window sizing) use this to skip idle gaps instead of spinning.
   std::optional<Time> next_event_time();
 
-  Time now() const { return now_; }
+  /// Current virtual time. Under an active ExecutionContext this is the
+  /// context's clock (the executing domain event's logical time).
+  Time now() const;
+  /// This instance's own clock, ignoring any execution-context redirection
+  /// (the executor and the context itself read this).
+  Time raw_now() const { return now_; }
   std::size_t pending() const { return live_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
@@ -63,6 +102,12 @@ class Simulator {
   std::uint64_t cancelled_events() const { return cancelled_events_; }
   /// High-water mark of the event queue (includes tombstones).
   std::size_t max_queue_depth() const { return max_queue_depth_; }
+
+  /// Debug builds bind the queue to the first thread that mutates it and
+  /// assert on every mutating call from another thread. rebind_owner()
+  /// transfers ownership to the calling thread — the domain executor calls
+  /// it at every barrier/window handoff. No-op in release builds.
+  void rebind_owner();
 
  private:
   struct Entry {
@@ -79,9 +124,11 @@ class Simulator {
 
   /// Pops cancelled entries off the queue head, consuming their tombstones.
   /// Returns true when a live entry remains at the top (the single purge
-  /// path shared by fire_next() and run_until()).
+  /// path shared by fire_next() and the run loops).
   bool skip_cancelled_head();
   bool fire_next();
+  /// Debug-only: binds on first use, asserts the caller owns the queue.
+  void assert_owner() const;
 
   Time now_ = 0.0;
   EventId next_id_ = 1;
@@ -96,6 +143,9 @@ class Simulator {
   /// underflowed on exactly those calls).
   std::unordered_set<EventId> live_;
   std::unordered_set<EventId> cancelled_;
+#ifndef NDEBUG
+  mutable std::thread::id owner_{};  ///< default-constructed = unbound
+#endif
 };
 
 }  // namespace emergence::sim

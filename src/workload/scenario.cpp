@@ -44,6 +44,8 @@ void ScenarioSpec::validate() const {
               " virtual seconds)");
   require(malicious_p >= 0.0 && malicious_p <= 1.0,
           "ScenarioSpec '" + name + "': p must lie in [0, 1]");
+  require(domains <= 1024,
+          "ScenarioSpec '" + name + "': domains capped at 1024");
   require(transient_fraction >= 0.0 && transient_fraction < 1.0,
           "ScenarioSpec '" + name + "': transient fraction must lie in [0, 1)");
   if (churn) {
@@ -313,6 +315,9 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
     spec.sessions = parse_size(key, value);
   } else if (key == "worlds") {
     spec.worlds = parse_size(key, value);
+  } else if (key == "domains") {
+    // 0 = legacy serial loop; >= 1 = the windowed domain executor.
+    spec.domains = parse_size(key, value);
   } else if (key == "seed") {
     spec.seed = parse_seed(key, value);
   } else if (key == "T") {

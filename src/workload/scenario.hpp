@@ -73,6 +73,15 @@ struct ScenarioSpec {
   /// is bit-identical at any thread count. 1 = one big shared world (the
   /// acceptance configuration).
   std::size_t worlds = 1;
+  /// Parallel domains WITHIN each world. 0 (the default) runs the legacy
+  /// serial event loop, byte-for-byte identical to pre-executor history;
+  /// any value >= 1 drives the world through sim::DomainExecutor's
+  /// conservative windows (sessions partitioned by index % domains).
+  /// Executor tallies form their own fingerprint family — bit-identical
+  /// across ANY domains >= 1 and any worker count, but not comparable to
+  /// domains=0 (the executor's barrier-eager global ordering and per-
+  /// session rng streams are a deliberately different schedule).
+  std::size_t domains = 0;
   std::uint64_t seed = 0x5EA51CE;
 
   double mean_lifetime() const { return emerging_time / churn_alpha; }
@@ -115,7 +124,8 @@ const std::vector<ScenarioSpec>& scenario_registry();
 ScenarioSpec find_scenario(const std::string& name);
 
 /// Resolves "name" or "name:key=value,key=value,...". Override keys:
-///   population, sessions, worlds, seed, T, alpha, p, rate, amplitude,
+///   population, sessions, worlds, domains, seed, T, alpha, p, rate,
+///   amplitude,
 ///   period, burst-rate, burst-start, burst-length, burst-period, k, l,
 ///   carriers, threshold, transient, backend (chord|kademlia),
 ///   scheme (centralized|disjoint|joint|share),

@@ -15,6 +15,8 @@
 #include "emerge/e2e_runner.hpp"
 #include "emerge/protocol.hpp"
 #include "emerge/session_dispatcher.hpp"
+#include "sim/domain_executor.hpp"
+#include "sim/execution_context.hpp"
 #include "sim/simulator.hpp"
 
 namespace emergence::workload {
@@ -45,6 +47,12 @@ void FleetTally::merge(const FleetTally& other) {
   horizon = std::max(horizon, other.horizon);
   worlds += other.worlds;
   transport.merge(other.transport);
+  if (events_per_domain.size() < other.events_per_domain.size()) {
+    events_per_domain.resize(other.events_per_domain.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.events_per_domain.size(); ++i) {
+    events_per_domain[i] += other.events_per_domain[i];
+  }
 }
 
 namespace {
@@ -112,6 +120,12 @@ struct Slot {
   std::uint64_t index = 0;  ///< global session index in this world
   double send_time = 0.0;
   double release_time = 0.0;
+  /// Executor mode: the session's private draw stream (transport samples,
+  /// lookup entry picks) and its domain assignment (index % domains). The
+  /// stream must live in the slot — transport retry closures capture a
+  /// reference to it across windows.
+  Rng rng{0};
+  std::size_t domain = 0;
 };
 
 }  // namespace
@@ -165,6 +179,24 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
 
   cloud::CloudStore cloud;
   core::SessionDispatcher dispatcher(*net);
+
+  // -- executor mode (spec.domains >= 1): conservative-window parallel
+  // execution of this one world. The lookahead is the transport's
+  // single-attempt latency floor (min_single_latency; the constructor
+  // rejects 0 and asks for an explicit epsilon), clamped strictly below
+  // kReapGrace so a reap — a barrier-eager global event — can never share
+  // a window with its session's still-pending domain events (slot
+  // recycling safety; see sim/domain_executor.hpp).
+  std::optional<sim::DomainExecutor> exec;
+  std::vector<dht::TransportStats> domain_tstats;
+  std::vector<dht::LookupStats> domain_lstats;
+  if (s.domains >= 1) {
+    const double lookahead =
+        std::min(net->transport().min_single_latency(), kReapGrace / 2.0);
+    exec.emplace(sim, s.domains, lookahead);
+    domain_tstats.resize(s.domains);
+    domain_lstats.resize(s.domains);
+  }
 
   // One shared coalition, marked once per world; per-session Adversary
   // instances share it (adversary.hpp Config::coalition) while keeping
@@ -303,25 +335,56 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
       adversary = slot.adversary.get();
     }
 
-    slot.session.emplace(*net, cloud, adversary, config,
-                         root.fork(16 + slot.index).seed(), &dispatcher);
-    slot.blob = slot.session->send(payload, "svc-" + std::to_string(slot.index));
-    slot.send_time = sim.now();
-    slot.release_time = slot.session->release_time();
+    {
+      // Executor mode: the whole setup runs under the session's execution
+      // context, so every simulator event it schedules (package deliveries,
+      // retransmits, assembly, forwards, probes) lands in the session's
+      // domain queue, every transport/lookup draw comes from the session's
+      // private stream, and stats accumulate into per-domain shards. Setup
+      // itself fires at the serial barrier, so its shared-state writes
+      // (store_on, dispatcher registration, cloud upload) are race-free.
+      // Legacy mode (no executor) leaves the scope disengaged: identical
+      // statements, identical draws, identical event ids.
+      std::optional<sim::ExecutionContext::Scope> scope;
+      if (exec.has_value()) {
+        slot.domain =
+            static_cast<std::size_t>(slot.index) % exec->domain_count();
+        slot.rng = root.fork(16 + slot.index).fork(1);
+        sim::ExecutionContext ctx;
+        ctx.world = &sim;
+        ctx.domain = &exec->domain(slot.domain);
+        ctx.clock = &sim;
+        ctx.rng = &slot.rng;
+        ctx.transport_stats = &domain_tstats[slot.domain];
+        ctx.lookup_stats = &domain_lstats[slot.domain];
+        scope.emplace(ctx);
+      }
+      slot.session.emplace(*net, cloud, adversary, config,
+                           root.fork(16 + slot.index).seed(), &dispatcher);
+      slot.blob =
+          slot.session->send(payload, "svc-" + std::to_string(slot.index));
+      slot.send_time = sim.now();
+      slot.release_time = slot.session->release_time();
 
-    if (adversary != nullptr) {
-      // Coalition knowledge grows at package-arrival instants ts +
-      // (c-1)*th; one probe shortly after each wave pins the earliest
-      // possession time (same model as the e2e harness). Probes fire
-      // before tr, the reaper after tr + grace, so the adversary pointer
-      // outlives every probe.
-      const double probe_offset = std::min(0.5, th / 4.0);
-      for (std::size_t c = 1; c <= shape.l; ++c) {
-        sim.schedule_at(
-            slot.send_time + static_cast<double>(c - 1) * th + probe_offset,
-            [adversary, &sim]() { adversary->attempt_restore(sim.now()); });
+      if (adversary != nullptr) {
+        // Coalition knowledge grows at package-arrival instants ts +
+        // (c-1)*th; one probe shortly after each wave pins the earliest
+        // possession time (same model as the e2e harness). Probes fire
+        // before tr, the reaper after tr + grace, so the adversary pointer
+        // outlives every probe. Under a context the probes are session
+        // events (domain queue) — they read/mutate only this session's
+        // adversary plus the frozen coalition set.
+        const double probe_offset = std::min(0.5, th / 4.0);
+        for (std::size_t c = 1; c <= shape.l; ++c) {
+          sim.schedule_at(
+              slot.send_time + static_cast<double>(c - 1) * th + probe_offset,
+              [adversary, &sim]() { adversary->attempt_restore(sim.now()); });
+        }
       }
     }
+    // The reap stays a GLOBAL event in both modes: it mutates shared state
+    // (network erase, dispatcher deregistration, slot recycling) and so
+    // belongs to the serial barrier.
     sim.schedule_at(slot.release_time + kReapGrace + reap_slack,
                     [&reap, slot_index]() { reap(slot_index); });
   };
@@ -336,22 +399,44 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
   };
   sim.schedule_at(arrivals->next_after(0.0, arrival_rng), arrive);
 
-  // Drive in fixed virtual-time chunks (fixed regardless of thread count,
-  // so chunking cannot affect determinism) to give the progress observer a
-  // heartbeat on long single-world runs. When the next pending event lies
-  // beyond the chunk (a trickle scenario idling between arrivals), jump
-  // straight to it instead of spinning empty chunks — the jump target is a
-  // pure function of the event queue, so determinism is unaffected.
   constexpr double kChunk = 120.0;
-  while (reaped < static_cast<std::uint64_t>(budget)) {
-    const std::optional<double> next = sim.next_event_time();
-    if (!next.has_value()) {
+  if (exec.has_value()) {
+    // Window-barrier drive: rounds until the budget is reaped (reaps are
+    // barrier events, so the predicate — checked between rounds — observes
+    // them race-free). Progress heartbeats are throttled to the serial
+    // drive's virtual-time chunk.
+    double next_report = kChunk;
+    const bool stopped = exec->run([&]() {
+      if (progress && sim.raw_now() >= next_report) {
+        progress(sim.raw_now(), reaped, started);
+        next_report = sim.raw_now() + kChunk;
+      }
+      return reaped >= static_cast<std::uint64_t>(budget);
+    });
+    if (!stopped) {
       throw ProtocolError(
-          "SessionFleet: event queue drained before the session budget "
+          "SessionFleet: event queues drained before the session budget "
           "completed (scenario '" + s.name + "')");
     }
-    sim.run_until(std::max(sim.now() + kChunk, *next));
-    if (progress) progress(sim.now(), reaped, started);
+    if (progress) progress(sim.raw_now(), reaped, started);
+  } else {
+    // Drive in fixed virtual-time chunks (fixed regardless of thread count,
+    // so chunking cannot affect determinism) to give the progress observer
+    // a heartbeat on long single-world runs. When the next pending event
+    // lies beyond the chunk (a trickle scenario idling between arrivals),
+    // jump straight to it instead of spinning empty chunks — the jump
+    // target is a pure function of the event queue, so determinism is
+    // unaffected.
+    while (reaped < static_cast<std::uint64_t>(budget)) {
+      const std::optional<double> next = sim.next_event_time();
+      if (!next.has_value()) {
+        throw ProtocolError(
+            "SessionFleet: event queue drained before the session budget "
+            "completed (scenario '" + s.name + "')");
+      }
+      sim.run_until(std::max(sim.now() + kChunk, *next));
+      if (progress) progress(sim.now(), reaped, started);
+    }
   }
 
   out.sessions_started = started;
@@ -360,6 +445,17 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
   out.horizon = sim.now();
   out.stray_packages = dispatcher.stray_packages();
   out.transport.merge(net->transport_stats());
+  if (exec.has_value()) {
+    out.events_executed += exec->domain_events_executed();
+    out.events_per_domain = exec->events_per_domain();
+    // Per-domain shards fold back in ascending domain order (the merges
+    // are commutative; the fixed order keeps the reduction canonical).
+    for (const dht::TransportStats& t : domain_tstats) out.transport.merge(t);
+    dht::LookupStats merged_lookups;
+    for (const dht::LookupStats& l : domain_lstats) merged_lookups.merge(l);
+    if (chord) chord->lookup_stats().merge(merged_lookups);
+    if (kademlia) kademlia->lookup_stats().merge(merged_lookups);
+  }
   if (churn.has_value()) {
     out.churn_deaths = churn->deaths();
     out.churn_transients = churn->transient_outages();

@@ -46,11 +46,33 @@ TEST(Simulator, ScheduleInIsRelative) {
   EXPECT_EQ(fired_at, 15.0);
 }
 
-TEST(Simulator, PastSchedulingThrows) {
+// -- past-clamp semantics ----------------------------------------------------
+// schedule_at with at < now used to throw. That precondition was a latent
+// landmine for any caller computing an absolute schedule near now (the
+// protocol's clamped forwards under lossy transports, redirected schedules
+// at window barriers): a float rounding hair below now crashed the run.
+// Pinned behavior: past times clamp deterministically to now — the event
+// fires, never time-travels, and FIFO-orders after everything already
+// pending at now. Negative *relative* delays are still programming errors.
+TEST(Simulator, PastSchedulingClampsToNow) {
   Simulator sim;
   sim.schedule_at(10.0, [] {});
   sim.run();
-  EXPECT_THROW(sim.schedule_at(5.0, [] {}), emergence::PreconditionError);
+  ASSERT_EQ(sim.now(), 10.0);
+
+  std::vector<int> order;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] { order.push_back(0); });
+  // Clamped: fires at now (10.0), after the event already pending at 10.0.
+  sim.schedule_at(5.0, [&] {
+    order.push_back(1);
+    fired_at = sim.now();
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(fired_at, 10.0);
+  EXPECT_EQ(sim.now(), 10.0);  // no time travel
+
   EXPECT_THROW(sim.schedule_in(-1.0, [] {}), emergence::PreconditionError);
 }
 
@@ -145,6 +167,62 @@ TEST(Simulator, RunUntilPastDeadlineThrows) {
   Simulator sim;
   sim.run_until(5.0);
   EXPECT_THROW(sim.run_until(4.0), emergence::PreconditionError);
+}
+
+// -- run_before window semantics ---------------------------------------------
+// The domain executor's windows are half-open [start, end): an event at
+// exactly the barrier belongs to the NEXT window (run_until's inclusive
+// <= deadline would run it twice — once per adjacent window).
+
+TEST(Simulator, RunBeforeExcludesBarrierExactEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });  // exactly at barrier
+  sim.run_before(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), 2.0);  // clock advances to the barrier regardless
+  sim.run_before(3.0);  // the barrier event belongs to the next window
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunBeforeRunsChainedSameWindowEvents) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(1.0, [&] {
+    fired.push_back(sim.now());
+    // Scheduled inside the window, lands inside the window: same pass.
+    sim.schedule_in(0.5, [&] { fired.push_back(sim.now()); });
+    // Lands exactly on the barrier: next window.
+    sim.schedule_in(1.0, [&] { fired.push_back(sim.now()); });
+  });
+  sim.run_before(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 1.5}));
+  sim.run_before(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 1.5, 2.0}));
+}
+
+TEST(Simulator, RunBeforePastWindowEndThrows) {
+  Simulator sim;
+  sim.run_before(5.0);
+  EXPECT_THROW(sim.run_before(4.0), emergence::PreconditionError);
+}
+
+// next_event_time must see through cancelled tombstones at the queue head —
+// the executor sizes windows off it, and a stale tombstone time would make
+// the window partition depend on cancellation history.
+TEST(Simulator, NextEventTimePurgesCancelledTombstones) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(3.0, [] {});
+  sim.cancel(a);
+  const std::optional<Time> next = sim.next_event_time();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 3.0);
+
+  sim.cancel(sim.schedule_at(4.0, [] {}));
+  sim.purge_cancelled();  // explicit purge is also a public operation
+  EXPECT_EQ(sim.pending(), 1u);
 }
 
 // -- pending() bookkeeping regressions ---------------------------------------
