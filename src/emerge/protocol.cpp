@@ -11,9 +11,11 @@ namespace {
 
 constexpr std::uint8_t kMsgPackage = 1;
 
-Bytes encode_package(std::uint64_t session_nonce, std::uint16_t column,
-                     std::uint16_t holder_index, BytesView onion,
-                     const std::vector<crypto::Share>& shares) {
+}  // namespace
+
+Bytes encode_protocol_package(std::uint64_t session_nonce, std::uint16_t column,
+                              std::uint16_t holder_index, BytesView onion,
+                              const std::vector<crypto::Share>& shares) {
   BinaryWriter w;
   w.u8(kMsgPackage);
   w.u64(session_nonce);
@@ -25,18 +27,11 @@ Bytes encode_package(std::uint64_t session_nonce, std::uint16_t column,
   return w.take();
 }
 
-struct DecodedPackage {
-  std::uint64_t session_nonce;
-  std::uint16_t column;
-  std::uint16_t holder_index;
-  std::vector<crypto::Share> shares;
-  Bytes onion;
-};
-
-DecodedPackage decode_package(BytesView payload) {
+ProtocolPackage decode_protocol_package(BytesView payload) {
   BinaryReader r(payload);
-  require(r.u8() == kMsgPackage, "decode_package: wrong message type");
-  DecodedPackage pkg;
+  require(r.u8() == kMsgPackage,
+          "decode_protocol_package: wrong message type");
+  ProtocolPackage pkg;
   pkg.session_nonce = r.u64();
   pkg.column = r.u16();
   pkg.holder_index = r.u16();
@@ -49,10 +44,8 @@ DecodedPackage decode_package(BytesView payload) {
   return pkg;
 }
 
-}  // namespace
-
 std::optional<std::uint64_t> peek_session_nonce(BytesView payload) {
-  // Lives next to encode_package/decode_package so the wire prefix (u8
+  // Lives next to encode_protocol_package/decode_protocol_package so the wire prefix (u8
   // kMsgPackage, u64 nonce) has exactly one home.
   if (payload.size() < 9 || payload[0] != kMsgPackage) return std::nullopt;
   BinaryReader r(payload);
@@ -60,18 +53,23 @@ std::optional<std::uint64_t> peek_session_nonce(BytesView payload) {
   return r.u64();
 }
 
-TimedReleaseSession::TimedReleaseSession(dht::Network& network,
-                                         cloud::CloudStore& cloud,
-                                         Adversary* adversary,
-                                         SessionConfig config,
-                                         std::uint64_t seed,
-                                         SessionDispatcher* dispatcher)
-    : network_(network),
-      cloud_(cloud),
-      adversary_(adversary),
-      config_(config),
-      dispatcher_(dispatcher),
-      drbg_(seed) {
+namespace {
+
+const SessionArgs& checked_args(const SessionArgs& args) {
+  require(args.network != nullptr, "TimedReleaseSession: null network");
+  require(args.cloud != nullptr, "TimedReleaseSession: null cloud store");
+  return args;
+}
+
+}  // namespace
+
+TimedReleaseSession::TimedReleaseSession(const SessionArgs& raw_args)
+    : network_(*checked_args(raw_args).network),
+      cloud_(*raw_args.cloud),
+      adversary_(raw_args.adversary),
+      config_(raw_args.config),
+      dispatcher_(raw_args.dispatcher),
+      drbg_(raw_args.seed) {
   require(config_.shape.k >= 1 && config_.shape.l >= 1,
           "TimedReleaseSession: degenerate path shape");
   if (config_.kind == SchemeKind::kShare) {
@@ -82,9 +80,18 @@ TimedReleaseSession::TimedReleaseSession(dht::Network& network,
             "TimedReleaseSession: invalid Shamir threshold");
   }
   require(holding_period() > config_.assembly_delay +
-                                 network.max_message_latency() * 4,
+                                 network_.max_message_latency() * 4,
           "TimedReleaseSession: holding period too short for the network");
 }
+
+TimedReleaseSession::TimedReleaseSession(dht::Network& network,
+                                         cloud::CloudStore& cloud,
+                                         Adversary* adversary,
+                                         SessionConfig config,
+                                         std::uint64_t seed,
+                                         SessionDispatcher* dispatcher)
+    : TimedReleaseSession(SessionArgs{&network, &cloud, adversary, config,
+                                      seed, dispatcher}) {}
 
 TimedReleaseSession::~TimedReleaseSession() {
   // Deregister without network cleanup: a world being torn down wholesale
@@ -231,7 +238,7 @@ cloud::BlobId TimedReleaseSession::send(BytesView message,
     const dht::NodeId& point = layout_.ring_points[0][h];
     network_.send_message_routed(
         point, point,
-        encode_package(session_nonce_, 1, static_cast<std::uint16_t>(h),
+        encode_protocol_package(session_nonce_, 1, static_cast<std::uint16_t>(h),
                        onion, {}));
     ++report_.packages_sent;
   }
@@ -293,9 +300,9 @@ void TimedReleaseSession::assign_keys_at_start() {
 
 void TimedReleaseSession::handle_package_message(const dht::NodeId& to,
                                                  BytesView payload) {
-  DecodedPackage pkg;
+  ProtocolPackage pkg;
   try {
-    pkg = decode_package(payload);
+    pkg = decode_protocol_package(payload);
   } catch (const Error&) {
     ++report_.malformed_packages;
     return;
@@ -333,9 +340,9 @@ void TimedReleaseSession::register_holder_handlers() {
                        BytesView payload) {
         // The network is open: any node can address bytes at a holder.
         // Malformed packages are dropped and counted, never fatal.
-        DecodedPackage pkg;
+        ProtocolPackage pkg;
         try {
-          pkg = decode_package(payload);
+          pkg = decode_protocol_package(payload);
         } catch (const Error&) {
           if (previous) {
             previous(from, to, payload);
@@ -505,7 +512,7 @@ void TimedReleaseSession::forward_from(std::uint16_t column,
     }
     network_.send_message_routed(
         holder, content.next_hops[i],
-        encode_package(session_nonce_, next_column, target, inner, shares));
+        encode_protocol_package(session_nonce_, next_column, target, inner, shares));
     ++report_.packages_sent;
   }
 }

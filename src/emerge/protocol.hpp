@@ -48,6 +48,25 @@ struct SessionConfig {
   crypto::CipherBackend backend = crypto::CipherBackend::kChaCha20;
 };
 
+/// One holder package on the wire: the unit a holder receives at each hop.
+/// This codec is the single home of the package byte layout — the in-process
+/// session uses it over the simulated DHT and the `emerged` daemon carries
+/// the exact same bytes inside its UDP frames, so a package captured from
+/// either world decodes in the other.
+struct ProtocolPackage {
+  std::uint64_t session_nonce = 0;
+  std::uint16_t column = 0;
+  std::uint16_t holder_index = 0;
+  std::vector<crypto::Share> shares;  ///< share-scheme key shares, may be empty
+  Bytes onion;                        ///< serialized ColumnOnion for this hop
+};
+
+Bytes encode_protocol_package(std::uint64_t session_nonce, std::uint16_t column,
+                              std::uint16_t holder_index, BytesView onion,
+                              const std::vector<crypto::Share>& shares);
+/// Throws CodecError / PreconditionError on malformed payloads.
+ProtocolPackage decode_protocol_package(BytesView payload);
+
 /// Counters exposed for tests and examples.
 struct SessionReport {
   std::uint64_t packages_sent = 0;
@@ -59,9 +78,26 @@ struct SessionReport {
   std::uint64_t deliveries = 0;  ///< terminal deliveries to the receiver
 };
 
+/// Everything a TimedReleaseSession needs, as one named-field aggregate.
+/// The api::SessionHandle builder fills one of these; the historical
+/// positional constructor packs its arguments into one and delegates, so
+/// both construction surfaces share a single initialization path.
+struct SessionArgs {
+  dht::Network* network = nullptr;      ///< required
+  cloud::CloudStore* cloud = nullptr;   ///< required
+  Adversary* adversary = nullptr;       ///< nullptr = no attack
+  SessionConfig config;
+  std::uint64_t seed = 0;
+  SessionDispatcher* dispatcher = nullptr;  ///< see ctor docs below
+};
+
 /// One self-emerging message through the DHT.
 class TimedReleaseSession {
  public:
+  /// Primary constructor. `args.network` and `args.cloud` are required
+  /// (PreconditionError otherwise); everything else has usable defaults.
+  explicit TimedReleaseSession(const SessionArgs& args);
+
   /// `adversary` may be nullptr (no attack). The session registers message
   /// handlers on holder nodes; it must outlive the simulation.
   ///
@@ -72,6 +108,9 @@ class TimedReleaseSession {
   /// retire() + destruction of finished sessions, which is what lets a
   /// fleet recycle session slots against one long-lived world
   /// (session_dispatcher.hpp). The dispatcher must outlive the session.
+  ///
+  /// Delegates to the SessionArgs constructor; kept because positional
+  /// call sites predate the aggregate and remain perfectly readable.
   TimedReleaseSession(dht::Network& network, cloud::CloudStore& cloud,
                       Adversary* adversary, SessionConfig config,
                       std::uint64_t seed,
@@ -138,6 +177,10 @@ class TimedReleaseSession {
   const PathLayout& layout() const { return layout_; }
   const SessionReport& report() const { return report_; }
   const SessionConfig& config() const { return config_; }
+  /// The wire nonce stamped on every package of this session (0 before
+  /// send()). Lets callers correlate dispatcher traffic, wire frames and
+  /// api::EmergeEvents with the session that produced them.
+  std::uint64_t session_nonce() const { return session_nonce_; }
 
  private:
   friend class SessionDispatcher;

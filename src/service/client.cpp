@@ -1,0 +1,142 @@
+#include "service/client.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace emergence::service {
+
+WireClient::WireClient(sim::Clock& clock, DatagramSocket& socket,
+                       Options options, Pump pump)
+    : clock_(clock),
+      socket_(socket),
+      options_(std::move(options)),
+      pump_(std::move(pump)) {
+  require(options_.daemon.valid(), "WireClient: daemon endpoint required");
+  require(static_cast<bool>(pump_), "WireClient: pump required");
+  socket_.on_receive([this](const Endpoint& from, BytesView datagram) {
+    handle_datagram(from, datagram);
+  });
+}
+
+std::uint64_t WireClient::next_token() { return ++token_counter_; }
+
+void WireClient::handle_datagram(const Endpoint& from, BytesView datagram) {
+  (void)from;
+  std::optional<WireMessage> message = decode_frame(datagram, stats_);
+  if (!message.has_value()) return;
+  std::visit(
+      [this](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, SubmitAck>) {
+          last_ack_ = std::move(m);
+        } else if constexpr (std::is_same_v<T, StatusReply>) {
+          last_status_ = std::move(m);
+        } else if constexpr (std::is_same_v<T, Deliver>) {
+          try {
+            api::EmergeEvent event = api::decode_emerge_event(m.event);
+            events_.emplace(event.session_nonce, std::move(event));
+          } catch (const Error&) {
+            ++stats_.malformed_payload;
+          }
+        }
+        // Anything else a client receives is noise; already counted by
+        // decode_frame when malformed, otherwise silently ignored.
+      },
+      std::move(*message));
+}
+
+api::SubmitReceipt WireClient::submit(const api::SubmitRequest& request) {
+  Submit msg;
+  msg.token = next_token();
+  msg.reply_to = socket_.local_endpoint();
+  msg.request = api::encode_submit_request(request);
+  msg.receiver = socket_.local_endpoint();
+  const Bytes frame = encode_frame(msg);
+
+  last_ack_.reset();
+  const double started = clock_.now();
+  const double deadline = started + options_.submit_timeout;
+  double next_send = started;
+  std::size_t sends_left = options_.resends + 1;
+
+  while (true) {
+    if (last_ack_.has_value() && last_ack_->token == msg.token) break;
+    if (clock_.now() >= deadline) {
+      ++stats_.request_timeouts;
+      throw ProtocolError("WireClient: submit timed out after " +
+                          std::to_string(options_.submit_timeout) + "s");
+    }
+    if (sends_left > 0 && clock_.now() >= next_send) {
+      if (next_send != started) ++stats_.request_retries;
+      socket_.send_to(options_.daemon, frame);
+      ++stats_.frames_sent;
+      --sends_left;
+      next_send = clock_.now() + options_.resend_interval;
+    }
+    if (!pump_()) {
+      throw ProtocolError(
+          "WireClient: world cannot progress while awaiting submit ack");
+    }
+  }
+
+  const SubmitAck ack = *last_ack_;
+  last_ack_.reset();
+  if (!ack.ok) {
+    throw ProtocolError("WireClient: submit rejected: " + ack.error);
+  }
+  api::SubmitReceipt receipt;
+  receipt.session_nonce = ack.session_nonce;
+  receipt.start_time = ack.start_time;
+  receipt.release_time = ack.release_time;
+  return receipt;
+}
+
+std::optional<api::EmergeEvent> WireClient::poll(std::uint64_t session_nonce) {
+  auto it = events_.find(session_nonce);
+  if (it == events_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<api::EmergeEvent> WireClient::await_event(
+    std::uint64_t session_nonce, double max_wait_seconds) {
+  const double deadline = clock_.now() + max_wait_seconds;
+  while (clock_.now() < deadline) {
+    if (auto event = poll(session_nonce)) return event;
+    if (!pump_()) break;
+  }
+  return poll(session_nonce);
+}
+
+StatusReply WireClient::status_of(const Endpoint& target,
+                                  double max_wait_seconds) {
+  Status msg;
+  msg.token = next_token();
+  msg.reply_to = socket_.local_endpoint();
+  const Bytes frame = encode_frame(msg);
+
+  last_status_.reset();
+  const double started = clock_.now();
+  const double deadline = started + max_wait_seconds;
+  double next_send = started;
+
+  while (clock_.now() < deadline) {
+    if (last_status_.has_value() && last_status_->token == msg.token) {
+      StatusReply reply = *last_status_;
+      last_status_.reset();
+      return reply;
+    }
+    if (clock_.now() >= next_send) {
+      if (next_send != started) ++stats_.request_retries;
+      socket_.send_to(target, frame);
+      ++stats_.frames_sent;
+      next_send = clock_.now() + options_.resend_interval;
+    }
+    if (!pump_()) break;
+  }
+  ++stats_.request_timeouts;
+  throw ProtocolError("WireClient: no status reply from " +
+                      target.to_string());
+}
+
+}  // namespace emergence::service

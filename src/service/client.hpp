@@ -1,0 +1,85 @@
+// WireClient: the api::Client binding for the `emerged` wire.
+//
+// The same Client interface LocalClient implements over the in-process
+// engine, here implemented by speaking the UDP wire protocol to a running
+// daemon: submit() sends a Submit frame and pumps until the SubmitAck
+// arrives (with bounded resends); Deliver frames land on the client's own
+// socket — the client IS the receiver endpoint — and poll() surfaces them.
+//
+// Like every service-layer class the client is written against the two
+// seams (sim::Clock + DatagramSocket), so the loopback tests drive it on a
+// Simulator + MemoryDatagramHub while tools/emerged.cpp drives it on a
+// WallClock + UdpSocket. The caller supplies the pump: one step of "make
+// the world progress" (simulator step, or poll(2) + fire_due), invoked
+// repeatedly while submit()/await_event() wait.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "api/api.hpp"
+#include "service/datagram.hpp"
+#include "service/wire.hpp"
+#include "sim/clock.hpp"
+
+namespace emergence::service {
+
+class WireClient final : public api::Client {
+ public:
+  /// One step of world progress while the client waits: advance the
+  /// simulator, or poll the UDP socket and fire due wall-clock timers.
+  /// Returning false means no progress is possible (deadlock guard);
+  /// the wait aborts with ProtocolError.
+  using Pump = std::function<bool()>;
+
+  struct Options {
+    Endpoint daemon;              ///< daemon that executes submits
+    double resend_interval = 0.5; ///< seconds between Submit resends
+    std::size_t resends = 8;      ///< attempts - 1 before giving up
+    double submit_timeout = 10.0; ///< total seconds to wait for the ack
+  };
+
+  /// `clock`, `socket` and the pump's referents must outlive the client.
+  /// Installs the receive handler on `socket`.
+  WireClient(sim::Clock& clock, DatagramSocket& socket, Options options,
+             Pump pump);
+
+  /// Sends the Submit frame and pumps until the daemon acknowledges.
+  /// Throws ProtocolError on timeout or a rejecting ack (the daemon's
+  /// diagnostic is included verbatim).
+  api::SubmitReceipt submit(const api::SubmitRequest& request) override;
+
+  /// Non-blocking: the EmergeEvent if a Deliver frame for `session_nonce`
+  /// has arrived on this client's socket.
+  std::optional<api::EmergeEvent> poll(std::uint64_t session_nonce) override;
+
+  /// Pumps until poll(session_nonce) succeeds or `max_wait_seconds` of
+  /// clock time pass; nullopt on timeout.
+  std::optional<api::EmergeEvent> await_event(std::uint64_t session_nonce,
+                                              double max_wait_seconds);
+
+  /// Sends a Status request to `target` and pumps for the reply.
+  /// Throws ProtocolError on timeout.
+  StatusReply status_of(const Endpoint& target, double max_wait_seconds);
+
+  const WireStats& stats() const { return stats_; }
+  std::size_t events_received() const { return events_.size(); }
+
+ private:
+  void handle_datagram(const Endpoint& from, BytesView datagram);
+  std::uint64_t next_token();
+
+  sim::Clock& clock_;
+  DatagramSocket& socket_;
+  Options options_;
+  Pump pump_;
+  std::uint64_t token_counter_ = 0;
+
+  std::optional<SubmitAck> last_ack_;      ///< for the in-flight submit
+  std::optional<StatusReply> last_status_; ///< for the in-flight status
+  std::map<std::uint64_t, api::EmergeEvent> events_;
+  WireStats stats_;
+};
+
+}  // namespace emergence::service

@@ -1,0 +1,76 @@
+#include "service/datagram.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace emergence::service {
+
+class MemoryDatagramHub::Socket final : public DatagramSocket {
+ public:
+  Socket(MemoryDatagramHub& hub, Endpoint endpoint)
+      : hub_(hub), endpoint_(endpoint) {}
+
+  ~Socket() override { hub_.unbind(endpoint_); }
+
+  void send_to(const Endpoint& to, BytesView datagram) override {
+    hub_.send(endpoint_, to, datagram);
+  }
+
+  Endpoint local_endpoint() const override { return endpoint_; }
+
+  void on_receive(Handler handler) override { handler_ = std::move(handler); }
+
+  void deliver(const Endpoint& from, const Bytes& datagram) {
+    if (handler_) handler_(from, datagram);
+  }
+
+ private:
+  MemoryDatagramHub& hub_;
+  Endpoint endpoint_;
+  Handler handler_;
+};
+
+MemoryDatagramHub::MemoryDatagramHub(sim::Clock& clock, double latency)
+    : clock_(clock), latency_(latency) {
+  require(latency >= 0.0, "MemoryDatagramHub: negative latency");
+}
+
+std::unique_ptr<DatagramSocket> MemoryDatagramHub::bind(
+    const Endpoint& endpoint) {
+  require(endpoint.valid(), "MemoryDatagramHub: invalid endpoint");
+  require(bound_.find(endpoint) == bound_.end(),
+          "MemoryDatagramHub: endpoint already bound: " +
+              endpoint.to_string());
+  auto socket = std::make_unique<Socket>(*this, endpoint);
+  bound_[endpoint] = socket.get();
+  return socket;
+}
+
+void MemoryDatagramHub::send(const Endpoint& from, const Endpoint& to,
+                             BytesView datagram) {
+  if (drop_hook_ && drop_hook_(from, to, datagram)) {
+    ++dropped_;
+    return;
+  }
+  // Copy now: the sender's buffer need not outlive the call. Delivery
+  // re-resolves the destination at fire time so datagrams to endpoints that
+  // unbound in flight vanish silently, like UDP to a closed port.
+  clock_.schedule_in(latency_,
+                     [this, from, to, copy = Bytes(datagram.begin(),
+                                                   datagram.end())]() {
+                       auto it = bound_.find(to);
+                       if (it == bound_.end()) {
+                         ++dropped_;
+                         return;
+                       }
+                       ++delivered_;
+                       it->second->deliver(from, copy);
+                     });
+}
+
+void MemoryDatagramHub::unbind(const Endpoint& endpoint) {
+  bound_.erase(endpoint);
+}
+
+}  // namespace emergence::service

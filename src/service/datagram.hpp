@@ -1,0 +1,78 @@
+// The datagram seam: one socket interface, two transports.
+//
+// NodeDaemon is written against DatagramSocket + sim::Clock and nothing
+// else, so the SAME daemon code runs in two worlds:
+//
+//   * MemoryDatagramHub sockets + sim::Simulator — deterministic in-process
+//     clusters for tests: delivery is a scheduled clock event, so a 16-node
+//     loopback run is bit-reproducible and needs no real sockets;
+//   * UdpSocket + sim::WallClock — the real `emerged` daemon on localhost
+//     UDP (udp_socket.hpp).
+//
+// Datagram semantics match UDP deliberately: unreliable (the hub can drop
+// via a test hook), unordered across sources, one frame per datagram.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "service/wire.hpp"
+#include "sim/clock.hpp"
+
+namespace emergence::service {
+
+/// One bound datagram socket. Handlers are invoked from the owning world's
+/// event pump (hub delivery event or UdpSocket::poll) — never reentrantly
+/// from inside send_to.
+class DatagramSocket {
+ public:
+  using Handler =
+      std::function<void(const Endpoint& from, BytesView datagram)>;
+
+  virtual ~DatagramSocket() = default;
+
+  virtual void send_to(const Endpoint& to, BytesView datagram) = 0;
+  virtual Endpoint local_endpoint() const = 0;
+  /// Installs the receive handler (replacing any previous one).
+  virtual void on_receive(Handler handler) = 0;
+};
+
+/// An in-memory "localhost": every socket bound on the hub reaches every
+/// other at a fixed simulated latency. Delivery is a clock event, so with a
+/// Simulator the whole exchange is deterministic; sockets unbind themselves
+/// on destruction (in-flight datagrams to a dead endpoint are dropped, as
+/// UDP would).
+class MemoryDatagramHub {
+ public:
+  /// `latency` is the per-datagram delivery delay on `clock`.
+  explicit MemoryDatagramHub(sim::Clock& clock, double latency = 0.0005);
+
+  /// Binds a socket on `endpoint`; throws PreconditionError if taken.
+  std::unique_ptr<DatagramSocket> bind(const Endpoint& endpoint);
+
+  /// Test hook: called per datagram before scheduling; return true to drop.
+  /// (Loss injection for robustness tests; null = lossless.)
+  using DropHook = std::function<bool(const Endpoint& from, const Endpoint& to,
+                                      BytesView datagram)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  std::uint64_t datagrams_delivered() const { return delivered_; }
+  std::uint64_t datagrams_dropped() const { return dropped_; }
+
+ private:
+  class Socket;
+
+  void send(const Endpoint& from, const Endpoint& to, BytesView datagram);
+  void unbind(const Endpoint& endpoint);
+
+  sim::Clock& clock_;
+  double latency_;
+  std::map<Endpoint, Socket*> bound_;
+  DropHook drop_hook_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace emergence::service

@@ -1,0 +1,49 @@
+// POSIX UDP binding of the DatagramSocket seam (the real transport).
+//
+// Non-blocking socket + poll(2): the daemon's run loop alternates
+// WallClock::fire_due() with poll(seconds_until_next), so timers and
+// datagrams interleave on one thread with no locks — the same single-
+// threaded event discipline the simulator enforces.
+#pragma once
+
+#include <cstddef>
+
+#include "service/datagram.hpp"
+
+namespace emergence::service {
+
+/// Endpoint::parse plus DNS: "host:port" resolves the host via getaddrinfo
+/// (IPv4), so docker-compose service names ("seed:4100") work wherever the
+/// daemon/tool flags accept an endpoint. Throws PreconditionError when the
+/// host does not resolve.
+Endpoint resolve_endpoint(const std::string& text);
+
+class UdpSocket final : public DatagramSocket {
+ public:
+  /// Binds on `listen` (IPv4). Port 0 lets the kernel pick; the resolved
+  /// endpoint is available via local_endpoint(). Throws PreconditionError
+  /// on any socket/bind failure (address in use, permission, ...).
+  explicit UdpSocket(const Endpoint& listen);
+  ~UdpSocket() override;
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  void send_to(const Endpoint& to, BytesView datagram) override;
+  Endpoint local_endpoint() const override { return local_; }
+  void on_receive(Handler handler) override;
+
+  /// Waits up to `max_wait_seconds` for readability, then drains every
+  /// pending datagram into the handler. Returns the number received.
+  /// A negative wait means "don't block at all".
+  std::size_t poll(double max_wait_seconds);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  Endpoint local_;
+  Handler handler_;
+};
+
+}  // namespace emergence::service

@@ -1,0 +1,52 @@
+// The clock seam: one scheduling interface over virtual and wall time.
+//
+// Everything above the substrate — protocol timers, daemon maintenance,
+// transport retransmits — schedules work as "run this closure at time t".
+// Clock is that contract and nothing more. Two drivers implement it:
+//
+//   * sim::Simulator: virtual time, the deterministic discrete-event loop
+//     every simulation and the in-process loopback service tests run on;
+//   * sim::WallClock: wall time (seconds since the Unix epoch), the driver
+//     the `emerged` node daemon runs on, integrated with socket polling
+//     (fire_due / seconds_until_next).
+//
+// Code written against Clock cannot tell which side of the seam it runs on,
+// which is what lets the service layer (src/service/) execute bit-for-bit
+// deterministically under the simulator in tests and on real clocks in a
+// deployed cluster. Time is always a double in seconds; only its epoch
+// differs (0 = construction for the simulator, 0 = Unix epoch for wall
+// clocks), so absolute timestamps must never cross drivers — the wire
+// protocol ships epoch-qualified microseconds for exactly that reason.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace emergence::sim {
+
+/// Time in seconds. Virtual (simulator) or wall (daemon) — see above.
+using Time = double;
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+/// The scheduling contract shared by the simulator and wall-clock drivers.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Schedules `action` at absolute time `at` (clamped to now when in the
+  /// past). Returns an id usable with cancel().
+  virtual EventId schedule_at(Time at, std::function<void()> action) = 0;
+
+  /// Schedules `action` `delay` seconds from now.
+  virtual EventId schedule_in(Time delay, std::function<void()> action) = 0;
+
+  /// Cancels a pending event; fired or unknown ids are a no-op.
+  virtual void cancel(EventId id) = 0;
+
+  /// Current time on this driver's axis.
+  virtual Time now() const = 0;
+};
+
+}  // namespace emergence::sim

@@ -29,16 +29,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/clock.hpp"
+
 namespace emergence::sim {
 
-/// Virtual time in seconds.
-using Time = double;
-
-/// Identifies a scheduled event so it can be cancelled.
-using EventId = std::uint64_t;
-
-/// Deterministic discrete-event loop.
-class Simulator {
+/// Deterministic discrete-event loop: the virtual-time driver of the Clock
+/// seam (clock.hpp). `final` so direct calls through Simulator& devirtualize
+/// on the event-loop hot paths.
+class Simulator final : public Clock {
  public:
   /// Schedules `action` to run at absolute time `at`. A time in the past is
   /// clamped to now (deterministic, never reordered before already-pending
@@ -48,14 +46,14 @@ class Simulator {
   /// When an ExecutionContext is active on this simulator (domain-sharded
   /// execution; see sim/execution_context.hpp), the event is redirected to
   /// the context's domain queue instead and carries the context with it.
-  EventId schedule_at(Time at, std::function<void()> action);
+  EventId schedule_at(Time at, std::function<void()> action) override;
 
   /// Schedules `action` to run `delay` seconds from now.
-  EventId schedule_in(Time delay, std::function<void()> action);
+  EventId schedule_in(Time delay, std::function<void()> action) override;
 
   /// Cancels a pending event. Cancelling an already-fired or unknown event is
   /// a no-op.
-  void cancel(EventId id);
+  void cancel(EventId id) override;
 
   /// Runs events until the queue empties.
   void run();
@@ -87,7 +85,7 @@ class Simulator {
 
   /// Current virtual time. Under an active ExecutionContext this is the
   /// context's clock (the executing domain event's logical time).
-  Time now() const;
+  Time now() const override;
   /// This instance's own clock, ignoring any execution-context redirection
   /// (the executor and the context itself read this).
   Time raw_now() const { return now_; }

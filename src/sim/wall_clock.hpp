@@ -1,0 +1,74 @@
+// Wall-time driver of the Clock seam (clock.hpp): the timer queue the
+// `emerged` node daemon runs on.
+//
+// now() is seconds since the Unix epoch (CLOCK_REALTIME), so timestamps are
+// comparable across localhost daemon processes — the wire protocol's
+// session metadata (start time, release time) is stated on this axis.
+// Unlike the simulator, a WallClock never advances time itself: fire_due()
+// runs exactly the events whose deadline has passed on the real clock, and
+// the daemon's poll loop alternates socket reads with fire_due() using
+// seconds_until_next() as the poll timeout. Single-threaded by contract,
+// like the Simulator.
+//
+// Determinism note: none. Real clocks jitter; code that must be testable
+// bit-for-bit runs against the Simulator driver instead (the loopback
+// service tests do exactly that). See docs/architecture.md, "Service
+// deployment".
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace emergence::sim {
+
+/// Timer queue over the real clock.
+class WallClock final : public Clock {
+ public:
+  EventId schedule_at(Time at, std::function<void()> action) override;
+  EventId schedule_in(Time delay, std::function<void()> action) override;
+  void cancel(EventId id) override;
+
+  /// Seconds since the Unix epoch.
+  Time now() const override;
+
+  /// Runs every pending event whose deadline is <= now(), in deadline order
+  /// (FIFO among equal deadlines). Events scheduled while firing run too if
+  /// already due. Returns how many events ran.
+  std::size_t fire_due();
+
+  /// Seconds until the earliest pending deadline, clamped to >= 0; nullopt
+  /// when no events are pending. The daemon uses this as its poll timeout.
+  std::optional<double> seconds_until_next();
+
+  std::size_t pending() const { return live_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among same-deadline events
+    }
+  };
+
+  /// Pops cancelled tombstones off the queue head; true when a live entry
+  /// remains on top.
+  bool skip_cancelled_head();
+
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> live_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace emergence::sim

@@ -270,151 +270,92 @@ ScenarioSpec find_scenario(const std::string& name) {
                           ")");
 }
 
-namespace {
-
-double parse_real(const std::string& key, const std::string& value) {
-  char* end = nullptr;
-  errno = 0;
-  const double parsed = std::strtod(value.c_str(), &end);
-  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
-    throw PreconditionError("scenario override '" + key + "=" + value +
-                            "': not a number");
-  }
-  return parsed;
+void add_protocol_options(OptionTable& table, core::SchemeKind& scheme,
+                          core::PathShape& shape, std::size_t& carriers_n,
+                          std::size_t& threshold_m, double& emerging_time) {
+  table.add_size("k", "replication factor: onion slots per column", &shape.k);
+  table.add_size("l", "path length: columns / holding periods", &shape.l);
+  table.add_size("carriers",
+                 "share scheme: holders per column (0 = k+1)", &carriers_n);
+  table.add_size("threshold",
+                 "share scheme: Shamir threshold m (0 = k)", &threshold_m);
+  table.add_real("T", "emerging period in seconds", &emerging_time);
+  table.add_choice(
+      "scheme", "routing scheme",
+      {{"centralized",
+        [&scheme, &shape] {
+          scheme = core::SchemeKind::kCentralized;
+          shape = core::PathShape{1, 1};
+        }},
+       {"disjoint", [&scheme] { scheme = core::SchemeKind::kDisjoint; }},
+       {"joint", [&scheme] { scheme = core::SchemeKind::kJoint; }},
+       {"share", [&scheme] { scheme = core::SchemeKind::kShare; }}});
 }
 
-std::size_t parse_size(const std::string& key, const std::string& value) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
-      value.find('-') != std::string::npos) {
-    throw PreconditionError("scenario override '" + key + "=" + value +
-                            "': not a non-negative integer");
-  }
-  return static_cast<std::size_t>(parsed);
+OptionTable scenario_option_table(ScenarioSpec& spec) {
+  OptionTable table;
+  table.add_size("population", "DHT nodes in each world", &spec.population);
+  table.add_size("sessions", "session budget across worlds", &spec.sessions);
+  table.add_size("worlds", "independent worlds sharded over the pool",
+                 &spec.worlds);
+  // 0 = legacy serial loop; >= 1 = the windowed domain executor.
+  table.add_size("domains", "parallel domains within each world (0 = serial)",
+                 &spec.domains);
+  table.add_u64("seed", "root seed (decimal or 0x hex)", &spec.seed);
+  add_protocol_options(table, spec.scheme, spec.shape, spec.carriers_n,
+                       spec.threshold_m, spec.emerging_time);
+  table.add("alpha", "X", "churn ratio T / mean lifetime (0 disables churn)",
+            [&spec](const std::string& v) {
+              spec.churn_alpha = parse_real_option("alpha", v);
+              spec.churn = spec.churn_alpha > 0.0;
+            });
+  table.add_real("p", "malicious coalition fraction of the population",
+                 &spec.malicious_p);
+  table.add_real("rate", "mean arrival rate (sessions/s)", &spec.arrival.rate);
+  table.add_real("amplitude", "diurnal modulation depth",
+                 &spec.arrival.amplitude);
+  table.add_real("period", "diurnal period in seconds", &spec.arrival.period);
+  table.add_real("burst-rate", "flash-crowd burst rate (sessions/s)",
+                 &spec.arrival.burst_rate);
+  table.add_real("burst-start", "first burst onset (s)",
+                 &spec.arrival.burst_start);
+  table.add_real("burst-length", "burst duration (s)",
+                 &spec.arrival.burst_length);
+  table.add_real("burst-period", "burst cadence (s)",
+                 &spec.arrival.burst_period);
+  table.add_real("transient", "fraction of outages that rejoin",
+                 &spec.transient_fraction);
+  table.add_real("lifetime-shape", "Weibull/Pareto shape parameter",
+                 &spec.lifetime.shape);
+  table.add("net", "PRESET[:k=v;...]",
+            "transport model (ideal|lan|wan|lossy|straggler|partition-heal)",
+            [&spec](const std::string& v) {
+              // Delegates the preset[:sub-key=value;...] mini-grammar (and
+              // its diagnostics) to the transport model itself.
+              spec.transport = dht::TransportModel::parse(v);
+            });
+  table.add_choice(
+      "backend", "DHT substrate",
+      {{"chord", [&spec] { spec.backend = core::DhtBackend::kChord; }},
+       {"kademlia",
+        [&spec] { spec.backend = core::DhtBackend::kKademlia; }}});
+  table.add_choice(
+      "arrival", "arrival process",
+      {{"deterministic",
+        [&spec] { spec.arrival.kind = ArrivalKind::kDeterministic; }},
+       {"poisson", [&spec] { spec.arrival.kind = ArrivalKind::kPoisson; }},
+       {"diurnal", [&spec] { spec.arrival.kind = ArrivalKind::kDiurnal; }},
+       {"flash-crowd",
+        [&spec] { spec.arrival.kind = ArrivalKind::kFlashCrowd; }}});
+  table.add_choice(
+      "lifetime", "node lifetime law",
+      {{"exponential",
+        [&spec] { spec.lifetime.kind = LifetimeKind::kExponential; }},
+       {"weibull", [&spec] { spec.lifetime.kind = LifetimeKind::kWeibull; }},
+       {"pareto", [&spec] { spec.lifetime.kind = LifetimeKind::kPareto; }},
+       {"trace", [&spec] { spec.lifetime.kind = LifetimeKind::kTrace; }}});
+  return table;
 }
-
-std::uint64_t parse_seed(const std::string& key, const std::string& value) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 0);
-  if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
-      value.find('-') != std::string::npos) {
-    throw PreconditionError("scenario override '" + key + "=" + value +
-                            "': not a seed");
-  }
-  return parsed;
-}
-
-void apply_override(ScenarioSpec& spec, const std::string& key,
-                    const std::string& value) {
-  if (key == "population") {
-    spec.population = parse_size(key, value);
-  } else if (key == "sessions") {
-    spec.sessions = parse_size(key, value);
-  } else if (key == "worlds") {
-    spec.worlds = parse_size(key, value);
-  } else if (key == "domains") {
-    // 0 = legacy serial loop; >= 1 = the windowed domain executor.
-    spec.domains = parse_size(key, value);
-  } else if (key == "seed") {
-    spec.seed = parse_seed(key, value);
-  } else if (key == "T") {
-    spec.emerging_time = parse_real(key, value);
-  } else if (key == "alpha") {
-    spec.churn_alpha = parse_real(key, value);
-    spec.churn = spec.churn_alpha > 0.0;
-  } else if (key == "p") {
-    spec.malicious_p = parse_real(key, value);
-  } else if (key == "rate") {
-    spec.arrival.rate = parse_real(key, value);
-  } else if (key == "amplitude") {
-    spec.arrival.amplitude = parse_real(key, value);
-  } else if (key == "period") {
-    spec.arrival.period = parse_real(key, value);
-  } else if (key == "burst-rate") {
-    spec.arrival.burst_rate = parse_real(key, value);
-  } else if (key == "burst-start") {
-    spec.arrival.burst_start = parse_real(key, value);
-  } else if (key == "burst-length") {
-    spec.arrival.burst_length = parse_real(key, value);
-  } else if (key == "burst-period") {
-    spec.arrival.burst_period = parse_real(key, value);
-  } else if (key == "k") {
-    spec.shape.k = parse_size(key, value);
-  } else if (key == "l") {
-    spec.shape.l = parse_size(key, value);
-  } else if (key == "carriers") {
-    spec.carriers_n = parse_size(key, value);
-  } else if (key == "threshold") {
-    spec.threshold_m = parse_size(key, value);
-  } else if (key == "transient") {
-    spec.transient_fraction = parse_real(key, value);
-  } else if (key == "lifetime-shape") {
-    spec.lifetime.shape = parse_real(key, value);
-  } else if (key == "net") {
-    // Delegates the preset[:sub-key=value;...] mini-grammar (and its
-    // diagnostics) to the transport model itself.
-    spec.transport = dht::TransportModel::parse(value);
-  } else if (key == "backend") {
-    if (value == "chord") {
-      spec.backend = core::DhtBackend::kChord;
-    } else if (value == "kademlia") {
-      spec.backend = core::DhtBackend::kKademlia;
-    } else {
-      throw PreconditionError("scenario override 'backend=" + value +
-                              "': expected chord or kademlia");
-    }
-  } else if (key == "scheme") {
-    if (value == "centralized") {
-      spec.scheme = core::SchemeKind::kCentralized;
-      spec.shape = core::PathShape{1, 1};
-    } else if (value == "disjoint") {
-      spec.scheme = core::SchemeKind::kDisjoint;
-    } else if (value == "joint") {
-      spec.scheme = core::SchemeKind::kJoint;
-    } else if (value == "share") {
-      spec.scheme = core::SchemeKind::kShare;
-    } else {
-      throw PreconditionError(
-          "scenario override 'scheme=" + value +
-          "': expected centralized, disjoint, joint or share");
-    }
-  } else if (key == "arrival") {
-    if (value == "deterministic") {
-      spec.arrival.kind = ArrivalKind::kDeterministic;
-    } else if (value == "poisson") {
-      spec.arrival.kind = ArrivalKind::kPoisson;
-    } else if (value == "diurnal") {
-      spec.arrival.kind = ArrivalKind::kDiurnal;
-    } else if (value == "flash-crowd") {
-      spec.arrival.kind = ArrivalKind::kFlashCrowd;
-    } else {
-      throw PreconditionError(
-          "scenario override 'arrival=" + value +
-          "': expected deterministic, poisson, diurnal or flash-crowd");
-    }
-  } else if (key == "lifetime") {
-    if (value == "exponential") {
-      spec.lifetime.kind = LifetimeKind::kExponential;
-    } else if (value == "weibull") {
-      spec.lifetime.kind = LifetimeKind::kWeibull;
-    } else if (value == "pareto") {
-      spec.lifetime.kind = LifetimeKind::kPareto;
-    } else if (value == "trace") {
-      spec.lifetime.kind = LifetimeKind::kTrace;
-    } else {
-      throw PreconditionError(
-          "scenario override 'lifetime=" + value +
-          "': expected exponential, weibull, pareto or trace");
-    }
-  } else {
-    throw PreconditionError("unknown scenario override key '" + key + "'");
-  }
-}
-
-}  // namespace
 
 ScenarioSpec parse_scenario(const std::string& text) {
   require(!text.empty(), "parse_scenario: empty scenario spec");
@@ -424,6 +365,7 @@ ScenarioSpec parse_scenario(const std::string& text) {
     std::string overrides = text.substr(colon + 1);
     require(!overrides.empty(),
             "parse_scenario: trailing ':' without overrides in '" + text + "'");
+    const OptionTable table = scenario_option_table(spec);
     std::size_t start = 0;
     while (start <= overrides.size()) {
       const std::size_t comma = overrides.find(',', start);
@@ -436,7 +378,8 @@ ScenarioSpec parse_scenario(const std::string& text) {
       const std::size_t eq = token.find('=');
       require(eq != std::string::npos && eq > 0 && eq + 1 < token.size(),
               "parse_scenario: override '" + token + "' is not key=value");
-      apply_override(spec, token.substr(0, eq), token.substr(eq + 1));
+      table.apply(token.substr(0, eq), token.substr(eq + 1),
+                  "scenario override");
       if (comma == std::string::npos) break;
       start = comma + 1;
     }

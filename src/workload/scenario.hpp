@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/options.hpp"
 #include "emerge/e2e_runner.hpp"
 #include "emerge/types.hpp"
 #include "workload/arrival.hpp"
@@ -137,6 +138,20 @@ ScenarioSpec find_scenario(const std::string& name);
 /// Throws PreconditionError with the offending token on malformed input;
 /// the result is validate()d before it is returned.
 ScenarioSpec parse_scenario(const std::string& text);
+
+/// Registers the protocol-shape keys — scheme, k, l, carriers, threshold,
+/// T — on `table`, writing through to the given fields. This is the ONE
+/// home of those key spellings: scenario_option_table() uses it for
+/// "name:key=value" overrides and the `emerged` daemon/submit command
+/// lines use it for their flags, so the two surfaces can never drift.
+void add_protocol_options(OptionTable& table, core::SchemeKind& scheme,
+                          core::PathShape& shape, std::size_t& carriers_n,
+                          std::size_t& threshold_m, double& emerging_time);
+
+/// The full override table for one spec: every key parse_scenario accepts,
+/// bound to `spec` (which must outlive the table). Exposed so help surfaces
+/// (bench drivers, the daemon) render the real key list instead of a copy.
+OptionTable scenario_option_table(ScenarioSpec& spec);
 
 /// Bridges a workload scenario onto the e2e cross-validation runner: same
 /// backend/scheme/geometry/population/adversary point, `runs` independent

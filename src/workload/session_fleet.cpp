@@ -359,8 +359,9 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
         ctx.lookup_stats = &domain_lstats[slot.domain];
         scope.emplace(ctx);
       }
-      slot.session.emplace(*net, cloud, adversary, config,
-                           root.fork(16 + slot.index).seed(), &dispatcher);
+      slot.session.emplace(core::SessionArgs{
+          net, &cloud, adversary, config,
+          root.fork(16 + slot.index).seed(), &dispatcher});
       slot.blob =
           slot.session->send(payload, "svc-" + std::to_string(slot.index));
       slot.send_time = sim.now();

@@ -1,0 +1,184 @@
+// The shared OptionTable surface (src/common/options.hpp): one key=value
+// table serving scenario overrides, daemon/tool command lines and --help.
+// The three config surfaces (SessionConfig keys, ScenarioSpec overrides,
+// daemon flags) must all speak through it with uniform diagnostics.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "service/daemon.hpp"
+#include "workload/scenario.hpp"
+
+namespace emergence {
+namespace {
+
+TEST(OptionTable, TypedSettersParseAndValidate) {
+  std::size_t size_v = 0;
+  double real_v = 0.0;
+  std::uint64_t u64_v = 0;
+  bool flag_v = false;
+  std::string string_v;
+
+  OptionTable table;
+  table.add_size("count", "a count", &size_v);
+  table.add_real("ratio", "a ratio", &real_v);
+  table.add_u64("seed", "a seed", &u64_v);
+  table.add_flag("verbose", "a flag", &flag_v);
+  table.add_string("label", "TEXT", "a label", &string_v);
+
+  table.apply("count", "42");
+  table.apply("ratio", "2.5");
+  table.apply("seed", "0xDEAD");
+  table.apply("verbose", "true");
+  table.apply("label", "hello");
+  EXPECT_EQ(size_v, 42u);
+  EXPECT_DOUBLE_EQ(real_v, 2.5);
+  EXPECT_EQ(u64_v, 0xDEADu);
+  EXPECT_TRUE(flag_v);
+  EXPECT_EQ(string_v, "hello");
+
+  // Diagnostics are pinned: the offending token and the expectation.
+  EXPECT_THROW(table.apply("count", "-1"), PreconditionError);
+  EXPECT_THROW(table.apply("ratio", "fast"), PreconditionError);
+  try {
+    table.apply("ratio", "fast");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("not a number"), std::string::npos);
+  }
+}
+
+TEST(OptionTable, UnknownKeyListsEveryKnownKey) {
+  std::size_t v = 0;
+  OptionTable table;
+  table.add_size("alpha", "first", &v);
+  table.add_size("beta", "second", &v);
+  try {
+    table.apply("gamma", "1", "test surface");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("known:"), std::string::npos);
+    EXPECT_NE(what.find("alpha"), std::string::npos);
+    EXPECT_NE(what.find("beta"), std::string::npos);
+    EXPECT_NE(what.find("test surface"), std::string::npos);
+  }
+}
+
+TEST(OptionTable, CommandLineParsingAndHelpRendering) {
+  std::size_t count = 0;
+  bool verbose = false;
+  OptionTable table;
+  table.add_size("count", "how many", &count);
+  table.add_flag("verbose", "log more", &verbose);
+
+  const char* argv[] = {"prog", "--count=7", "--verbose", "pos1", "--",
+                        "--count=9"};
+  const auto positional = table.parse_cli(6, argv, 1);
+  EXPECT_EQ(count, 7u);
+  EXPECT_TRUE(verbose);
+  // "--" ends flag parsing; everything after is positional verbatim.
+  ASSERT_EQ(positional.size(), 2u);
+  EXPECT_EQ(positional[0], "pos1");
+  EXPECT_EQ(positional[1], "--count=9");
+
+  const std::string help = table.help();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("how many"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+}
+
+TEST(OptionTable, ChoiceDiagnosticsNameTheAlternatives) {
+  int picked = 0;
+  OptionTable table;
+  table.add_choice("mode", "the mode",
+                   {{"fast", [&picked] { picked = 1; }},
+                    {"slow", [&picked] { picked = 2; }}});
+  table.apply("mode", "slow");
+  EXPECT_EQ(picked, 2);
+  try {
+    table.apply("mode", "medium");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fast"), std::string::npos);
+    EXPECT_NE(what.find("slow"), std::string::npos);
+  }
+}
+
+// The daemon's flags and the scenario's protocol keys ride the same table
+// machinery: registering both in one table must not collide, and the keys
+// keep their one canonical spelling.
+TEST(OptionTable, DaemonAndProtocolSurfacesComposeInOneTable) {
+  service::DaemonConfig config;
+  core::SchemeKind scheme = core::SchemeKind::kJoint;
+  core::PathShape shape{2, 3};
+  std::size_t carriers = 0, threshold = 0;
+  double emerging_time = 120.0;
+
+  OptionTable table;
+  service::add_daemon_options(table, config);
+  workload::add_protocol_options(table, scheme, shape, carriers, threshold,
+                                 emerging_time);
+
+  table.apply("listen", "127.0.0.1:4100");
+  table.apply("seed-node", "127.0.0.1:4000");
+  table.apply("stabilize-interval", "0.25");
+  table.apply("max-hops", "64");
+  table.apply("scheme", "share");
+  table.apply("k", "3");
+  table.apply("T", "45");
+
+  EXPECT_EQ(config.listen.to_string(), "127.0.0.1:4100");
+  ASSERT_TRUE(config.seed.has_value());
+  EXPECT_EQ(config.seed->to_string(), "127.0.0.1:4000");
+  EXPECT_DOUBLE_EQ(config.stabilize_interval, 0.25);
+  EXPECT_EQ(config.max_hops, 64);
+  EXPECT_EQ(scheme, core::SchemeKind::kShare);
+  EXPECT_EQ(shape.k, 3u);
+  EXPECT_DOUBLE_EQ(emerging_time, 45.0);
+
+  // Validated, not silently clamped.
+  EXPECT_THROW(table.apply("max-hops", "0"), PreconditionError);
+  EXPECT_THROW(table.apply("max-hops", "300"), PreconditionError);
+  EXPECT_THROW(table.apply("listen", "not-an-endpoint"), PreconditionError);
+
+  // --help renders every key of both surfaces from the same registry.
+  const std::string help = table.help();
+  for (const char* key : {"--listen", "--seed-node", "--successor-list",
+                          "--replicas", "--stabilize-interval",
+                          "--repair-interval", "--request-timeout",
+                          "--request-retries", "--max-hops", "--rng-seed",
+                          "--k", "--l", "--T", "--scheme", "--carriers",
+                          "--threshold"}) {
+    EXPECT_NE(help.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(OptionTable, ScenarioGrammarSpeaksThroughTheSameTable) {
+  // The scenario override grammar is the third surface of the same table:
+  // a bad key in "name:key=value" produces the identical known-keys
+  // diagnostic the command line produces.
+  try {
+    workload::parse_scenario("steady-trickle:no-such-knob=1");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("known:"), std::string::npos);
+  }
+  const auto spec = workload::parse_scenario("steady-trickle:k=3,T=600,scheme=share");
+  EXPECT_EQ(spec.shape.k, 3u);
+  EXPECT_DOUBLE_EQ(spec.emerging_time, 600.0);
+  EXPECT_EQ(spec.scheme, core::SchemeKind::kShare);
+}
+
+TEST(OptionTable, DuplicateRegistrationThrows) {
+  std::size_t v = 0;
+  OptionTable table;
+  table.add_size("count", "first", &v);
+  EXPECT_THROW(table.add_size("count", "again", &v), PreconditionError);
+}
+
+}  // namespace
+}  // namespace emergence

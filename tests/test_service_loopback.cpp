@@ -1,0 +1,256 @@
+// The service stack without processes or real sockets: NodeDaemon +
+// WireClient on a Simulator clock and a MemoryDatagramHub transport. The
+// SAME classes tools/emerged.cpp runs on a WallClock + UdpSocket execute
+// here deterministically — ring bootstrap, timed release over the wire,
+// and the garbage-tolerance contract are all asserted in virtual time.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/datagram.hpp"
+#include "sim/simulator.hpp"
+
+namespace emergence::service {
+namespace {
+
+constexpr std::uint32_t kLoopbackIp = 0x7F000001;
+
+Endpoint node_endpoint(std::size_t index) {
+  return Endpoint{kLoopbackIp, static_cast<std::uint16_t>(9000 + index)};
+}
+
+/// N daemons on one in-process hub: node 0 creates the ring, the rest join
+/// through it — the exact bootstrap tools/cluster.sh performs over UDP.
+struct Cluster {
+  sim::Simulator sim;
+  MemoryDatagramHub hub{sim, 0.0005};
+  struct Node {
+    std::unique_ptr<DatagramSocket> socket;
+    std::unique_ptr<NodeDaemon> daemon;
+  };
+  std::vector<Node> nodes;
+
+  explicit Cluster(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      DaemonConfig config;
+      config.listen = node_endpoint(i);
+      if (i != 0) config.seed = node_endpoint(0);
+      config.name = "node-" + std::to_string(i);
+      config.rng_seed = 1000 + i;
+      config.stabilize_interval = 0.25;
+      config.repair_interval = 1.0;
+      Node node;
+      node.socket = hub.bind(config.listen);
+      node.daemon =
+          std::make_unique<NodeDaemon>(sim, *node.socket, config);
+      nodes.push_back(std::move(node));
+    }
+    for (Node& node : nodes) node.daemon->start();
+  }
+
+  NodeDaemon* at(const Endpoint& endpoint) {
+    for (Node& node : nodes) {
+      if (node.daemon->self().addr == endpoint) return node.daemon.get();
+    }
+    return nullptr;
+  }
+
+  /// Follows successor links from node 0; the ring is converged when the
+  /// walk closes after visiting every daemon exactly once.
+  std::size_t ring_walk_size() {
+    std::set<std::string> seen;
+    Endpoint cursor = node_endpoint(0);
+    for (std::size_t i = 0; i <= nodes.size(); ++i) {
+      NodeDaemon* daemon = at(cursor);
+      if (daemon == nullptr) break;
+      if (!seen.insert(daemon->self().id.to_hex()).second) break;
+      if (daemon->successors().empty()) break;
+      cursor = daemon->successors().front().addr;
+    }
+    return seen.size();
+  }
+
+  std::uint64_t total_malformed() const {
+    std::uint64_t total = 0;
+    for (const Node& node : nodes)
+      total += node.daemon->stats().malformed_frames();
+    return total;
+  }
+};
+
+TEST(ServiceLoopback, SixteenNodesConvergeIntoOneRing) {
+  Cluster cluster(16);
+  cluster.sim.run_until(30.0);
+
+  for (const auto& node : cluster.nodes) {
+    EXPECT_TRUE(node.daemon->joined());
+    EXPECT_TRUE(node.daemon->has_predecessor());
+    ASSERT_FALSE(node.daemon->successors().empty());
+    // Nobody is its own successor in a converged multi-node ring.
+    EXPECT_NE(node.daemon->successors().front().id, node.daemon->self().id);
+  }
+  EXPECT_EQ(cluster.ring_walk_size(), 16u);
+  EXPECT_EQ(cluster.total_malformed(), 0u);
+}
+
+struct LoopbackClient {
+  std::unique_ptr<DatagramSocket> socket;
+  std::unique_ptr<WireClient> client;
+
+  LoopbackClient(Cluster& cluster, const Endpoint& bind) {
+    socket = cluster.hub.bind(bind);
+    WireClient::Options options;
+    options.daemon = node_endpoint(0);
+    options.resend_interval = 0.5;
+    options.submit_timeout = 20.0;
+    client = std::make_unique<WireClient>(
+        cluster.sim, *socket, options,
+        [&cluster]() { return cluster.sim.step(64) > 0; });
+  }
+};
+
+TEST(ServiceLoopback, SubmitHoldsForwardAndEmergesOnTheWire) {
+  Cluster cluster(16);
+  cluster.sim.run_until(30.0);
+  ASSERT_EQ(cluster.ring_walk_size(), 16u);
+
+  LoopbackClient lc(cluster, Endpoint{kLoopbackIp, 8999});
+  api::SubmitRequest request;
+  request.message = bytes_of("the loopback secret");
+  request.scheme = core::SchemeKind::kJoint;
+  request.shape = core::PathShape{2, 3};
+  request.emerging_time = 60.0;  // th = 20s per column
+  request.assembly_delay = 1.0;
+
+  const api::SubmitReceipt receipt = lc.client->submit(request);
+  EXPECT_NE(receipt.session_nonce, 0u);
+  EXPECT_DOUBLE_EQ(receipt.release_time, receipt.start_time + 60.0);
+
+  // Nothing may emerge before tr.
+  cluster.sim.run_until(receipt.release_time - 1.0);
+  EXPECT_FALSE(lc.client->poll(receipt.session_nonce).has_value());
+
+  const auto event = lc.client->await_event(receipt.session_nonce, 30.0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->session_nonce, receipt.session_nonce);
+  EXPECT_EQ(Bytes(event->secret), bytes_of("the loopback secret"));
+  EXPECT_GE(event->delivery_time, receipt.release_time);
+  EXPECT_LE(event->delivery_time, receipt.release_time + 1.0);
+
+  // The emergence came through real package hops, and nothing was mangled.
+  std::uint64_t deliveries = 0, packages = 0, stuck = 0;
+  for (const auto& node : cluster.nodes) {
+    deliveries += node.daemon->report().deliveries;
+    packages += node.daemon->report().packages_received;
+    stuck += node.daemon->report().holders_stuck;
+  }
+  EXPECT_GE(deliveries, 1u);
+  // k x l = 6 holder slots, columns 2..3 arrive as k packages each.
+  EXPECT_GE(packages, 6u);
+  EXPECT_EQ(stuck, 0u);
+  EXPECT_EQ(cluster.total_malformed(), 0u);
+}
+
+TEST(ServiceLoopback, ShareSchemeEmergesViaShamirReassembly) {
+  Cluster cluster(16);
+  cluster.sim.run_until(30.0);
+  ASSERT_EQ(cluster.ring_walk_size(), 16u);
+
+  LoopbackClient lc(cluster, Endpoint{kLoopbackIp, 8998});
+  api::SubmitRequest request;
+  request.message = bytes_of("shared loopback secret");
+  request.scheme = core::SchemeKind::kShare;
+  request.shape = core::PathShape{2, 3};
+  request.carriers_n = 3;
+  request.threshold_m = 2;
+  request.emerging_time = 60.0;
+  request.assembly_delay = 1.0;
+
+  const api::SubmitReceipt receipt = lc.client->submit(request);
+  const auto event = lc.client->await_event(receipt.session_nonce, 100.0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(Bytes(event->secret), bytes_of("shared loopback secret"));
+  EXPECT_GE(event->delivery_time, receipt.release_time);
+  EXPECT_EQ(cluster.total_malformed(), 0u);
+}
+
+TEST(ServiceLoopback, RejectsImpossibleSubmitWithDiagnostic) {
+  Cluster cluster(4);
+  cluster.sim.run_until(15.0);
+
+  LoopbackClient lc(cluster, Endpoint{kLoopbackIp, 8997});
+  api::SubmitRequest request;
+  request.message = bytes_of("x");
+  request.emerging_time = 1.0;  // th = 1/3 s < assembly delay
+  request.assembly_delay = 1.0;
+  EXPECT_THROW(
+      {
+        try {
+          lc.client->submit(request);
+        } catch (const ProtocolError& e) {
+          EXPECT_NE(std::string(e.what()).find("holding period"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      ProtocolError);
+}
+
+TEST(ServiceLoopback, DaemonSurvivesGarbageAndCountsEveryClass) {
+  Cluster cluster(2);
+  cluster.sim.run_until(10.0);
+
+  // A raw hub endpoint lobbing malformed datagrams straight at node 0.
+  auto attacker = cluster.hub.bind(Endpoint{kLoopbackIp, 8996});
+  const Endpoint target = node_endpoint(0);
+
+  attacker->send_to(target, Bytes{0x00, 0x01, 0x02});            // bad magic
+  attacker->send_to(target, Bytes{kWireMagic});                  // truncated
+  attacker->send_to(target, Bytes{kWireMagic, kWireVersion + 1,  // bad version
+                                  1, 0, 0, 0, 0});
+  attacker->send_to(target, Bytes{kWireMagic, kWireVersion,      // bad type
+                                  0xEE, 0, 0, 0, 0});
+  attacker->send_to(target, Bytes{kWireMagic, kWireVersion,      // bad payload
+                                  2, 1, 0, 0, 0, 0xFF});
+  cluster.sim.run_until(11.0);
+
+  const WireStats& stats = cluster.nodes[0].daemon->stats();
+  EXPECT_EQ(stats.bad_magic, 1u);
+  EXPECT_EQ(stats.truncated_frames, 1u);
+  EXPECT_EQ(stats.version_mismatch, 1u);
+  EXPECT_EQ(stats.unknown_type, 1u);
+  EXPECT_EQ(stats.malformed_payload, 1u);
+  EXPECT_EQ(stats.malformed_frames(), 5u);
+
+  // The daemon keeps serving: the ring still stabilizes and answers.
+  cluster.sim.run_until(20.0);
+  EXPECT_EQ(cluster.ring_walk_size(), 2u);
+}
+
+TEST(ServiceLoopback, StatusWalkMatchesInProcessState) {
+  Cluster cluster(8);
+  cluster.sim.run_until(30.0);
+  ASSERT_EQ(cluster.ring_walk_size(), 8u);
+
+  LoopbackClient lc(cluster, Endpoint{kLoopbackIp, 8995});
+  std::set<std::string> walked;
+  Endpoint cursor = node_endpoint(0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const StatusReply reply = lc.client->status_of(cursor, 10.0);
+    EXPECT_TRUE(reply.has_predecessor);
+    EXPECT_EQ(reply.malformed_frames, 0u);
+    ASSERT_FALSE(reply.successors.empty());
+    walked.insert(reply.self.id.to_hex());
+    cursor = reply.successors.front().addr;
+  }
+  EXPECT_EQ(walked.size(), 8u);
+}
+
+}  // namespace
+}  // namespace emergence::service
