@@ -19,6 +19,7 @@
 #include "emerge/experiment/table.hpp"
 #include "emerge/monte_carlo.hpp"
 #include "emerge/sweep.hpp"
+#include "obs/metrics.hpp"
 
 namespace emergence::bench {
 
@@ -116,6 +117,8 @@ class WallTimer {
 //   { "schema_version": int, "bench": str, "scenario": str,
 //     "root_seed": int, "runs": int, "threads": int, "wall_seconds": num,
 //     "extra": { str: num, ... },
+//     "metrics": { "counters": {...}, "gauges": {...},
+//                  "histograms": { str: {count, min, max, mean, p50, p99} } },
 //     "tables": [ { "name": str, "caption": str,
 //                   "columns": [str, ...], "rows": [[num, ...], ...] } ] }
 //
@@ -126,8 +129,10 @@ class WallTimer {
 // timer/json/write triple.
 
 /// Bumped whenever the artifact layout changes shape: 2 added
-/// schema_version itself, scenario and root_seed.
-inline constexpr int kBenchSchemaVersion = 2;
+/// schema_version itself, scenario and root_seed; 3 added the "metrics"
+/// block (an obs::MetricsRegistry snapshot, always present — empty maps
+/// when the driver publishes nothing).
+inline constexpr int kBenchSchemaVersion = 3;
 
 inline void json_escape(std::ostream& os, const std::string& s) {
   os << '"';
@@ -174,6 +179,10 @@ class BenchJson {
     root_seed_ = root_seed;
   }
 
+  /// The artifact's metrics block (schema v3): publish stats structs onto
+  /// it via obs::publish before write().
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
   /// Writes BENCH_<bench>.json into `dir` (default: the working directory,
   /// overridable with EMERGENCE_BENCH_JSON_DIR). Returns the path written.
   std::string write(double wall_seconds) const {
@@ -202,7 +211,9 @@ class BenchJson {
       os << ": ";
       json_number(os, extra_[i].second);
     }
-    os << "},\n  \"tables\": [";
+    os << "},\n  \"metrics\": ";
+    metrics_.write_json(os, "  ");
+    os << ",\n  \"tables\": [";
     for (std::size_t t = 0; t < tables_.size(); ++t) {
       const core::FigureTable& table = tables_[t];
       os << (t > 0 ? "," : "") << "\n    {\n      \"name\": ";
@@ -239,6 +250,7 @@ class BenchJson {
   std::size_t threads_;
   std::vector<std::pair<std::string, double>> extra_;
   std::vector<core::FigureTable> tables_;
+  obs::MetricsRegistry metrics_;
 };
 
 /// The one shared emission path for bench artifacts: owns the wall timer
@@ -257,6 +269,7 @@ class BenchReport {
   void set_extra(const std::string& key, double value) {
     json_.set_extra(key, value);
   }
+  obs::MetricsRegistry& metrics() { return json_.metrics(); }
   double elapsed_seconds() const { return timer_.seconds(); }
 
   /// Writes the artifact; wall_seconds defaults to this report's lifetime.

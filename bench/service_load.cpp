@@ -41,13 +41,25 @@
 //   --max-seconds=S                  wall-clock gate per scenario (0 = off)
 //   --check-invariance               1-vs-8-thread bit-identity gate
 //   --progress                       heartbeat lines on long runs
+//   --trace-out=PATH                 write a Chrome trace_event JSON of the
+//                                    sampled session/hop spans (Perfetto-
+//                                    loadable); tracing never changes the
+//                                    fingerprints (CI gates this)
+//   --trace-sample=RATE              fraction of sessions/messages traced
+//                                    (default 1.0; keyed on content, so the
+//                                    sampled set is domain/thread invariant)
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/error.hpp"
+#include "common/options.hpp"
+#include "obs/bridge.hpp"
+#include "obs/trace.hpp"
 #include "workload/scenario.hpp"
 #include "workload/session_fleet.hpp"
 
@@ -59,10 +71,12 @@ using workload::ScenarioSpec;
 
 struct Options {
   std::string scenario;
+  bool help = false;
   bool list = false;
   bool matrix = false;
   bool check_invariance = false;
   bool progress = false;
+  bool quick = false;  // accepted for bench-harness symmetry; no effect here
   std::size_t population = 0;  // 0 = scenario default
   std::size_t sessions = 0;
   std::size_t worlds = 0;
@@ -73,61 +87,65 @@ struct Options {
   std::uint64_t seed = 0;
   bool seed_set = false;
   double max_seconds = 0.0;  // 0 = no wall gate
+  std::size_t threads = 0;   // 0 = auto
+  std::string trace_out;     // empty = tracing off
+  double trace_sample = 1.0;
 };
 
-Options parse_options(int argc, char** argv) {
-  Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--scenario=", 0) == 0) {
-      o.scenario = arg.substr(11);
-    } else if (arg == "--list-scenarios") {
-      o.list = true;
-    } else if (arg == "--matrix") {
-      o.matrix = true;
-    } else if (arg == "--check-invariance") {
-      o.check_invariance = true;
-    } else if (arg == "--progress") {
-      o.progress = true;
-    } else if (arg.rfind("--population=", 0) == 0) {
-      o.population = bench::parse_count(arg.substr(13), 0, "--population");
-    } else if (arg.rfind("--sessions=", 0) == 0) {
-      o.sessions = bench::parse_count(arg.substr(11), 0, "--sessions");
-    } else if (arg.rfind("--worlds=", 0) == 0) {
-      o.worlds = bench::parse_count(arg.substr(9), 0, "--worlds");
-    } else if (arg.rfind("--domains=", 0) == 0) {
-      o.domains = bench::parse_count(arg.substr(10), 0, "--domains");
-      o.domains_set = true;
-    } else if (arg.rfind("--domains-compare=", 0) == 0) {
-      std::string list = arg.substr(18);
-      std::size_t pos = 0;
-      while (pos <= list.size()) {
-        const std::size_t comma = std::min(list.find(',', pos), list.size());
-        o.domains_compare.push_back(bench::parse_count(
-            list.substr(pos, comma - pos), 1, "--domains-compare"));
-        pos = comma + 1;
-      }
-    } else if (arg.rfind("--min-speedup=", 0) == 0) {
-      try {
-        o.min_speedup = std::stod(arg.substr(14));
-      } catch (...) {
-        std::cerr << "# warning: ignoring malformed " << arg << "\n";
-      }
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      o.seed = bench::parse_count(arg.substr(7), 0, "--seed");
-      o.seed_set = true;
-    } else if (arg.rfind("--max-seconds=", 0) == 0) {
-      try {
-        o.max_seconds = std::stod(arg.substr(14));
-      } catch (...) {
-        std::cerr << "# warning: ignoring malformed " << arg << "\n";
-      }
-    } else if (arg.rfind("--threads=", 0) != 0 && arg != "--quick") {
-      std::cerr << "# warning: ignoring unknown flag '" << arg << "'\n";
-    }
-  }
-  return o;
+/// Registers every service_load knob on `table` (the shared OptionTable
+/// surface: one registration serves --flag parsing and --help).
+void add_load_options(OptionTable& table, Options& o) {
+  table.add_string("scenario", "NAME[:k=v,...]",
+                   "scenario to run (parse_scenario syntax)", &o.scenario);
+  table.add_flag("help", "print this help and exit", &o.help);
+  table.add_flag("list-scenarios", "print the registry and exit", &o.list);
+  table.add_flag("matrix", "run every named scenario", &o.matrix);
+  table.add_flag("check-invariance", "1-vs-8-thread bit-identity gate",
+                 &o.check_invariance);
+  table.add_flag("progress", "heartbeat lines on long runs", &o.progress);
+  table.add_flag("quick", "accepted for bench-harness symmetry", &o.quick);
+  table.add_size("population", "override the scenario population",
+                 &o.population);
+  table.add_size("sessions", "override the session budget", &o.sessions);
+  table.add_size("worlds", "override the world count", &o.worlds);
+  table.add("domains", "N",
+            "within-world parallel domains (0 = legacy serial loop)",
+            [&o](const std::string& v) {
+              o.domains = parse_size_option("domains", v);
+              o.domains_set = true;
+            });
+  table.add("domains-compare", "A,B,...",
+            "run per listed domain count and gate bit-identical fingerprints",
+            [&o](const std::string& v) {
+              std::size_t pos = 0;
+              while (pos <= v.size()) {
+                const std::size_t comma = std::min(v.find(',', pos), v.size());
+                o.domains_compare.push_back(parse_size_option(
+                    "domains-compare", v.substr(pos, comma - pos)));
+                pos = comma + 1;
+              }
+            });
+  table.add_real("min-speedup",
+                 "fail when the domains-compare speedup falls below this",
+                 &o.min_speedup);
+  table.add("seed", "N", "override the scenario root seed",
+            [&o](const std::string& v) {
+              o.seed = parse_u64_option("seed", v);
+              o.seed_set = true;
+            });
+  table.add_real("max-seconds", "wall-clock gate per scenario (0 = off)",
+                 &o.max_seconds);
+  table.add_size("threads",
+                 "sweep pool size (0 = auto; never changes tallies)",
+                 &o.threads);
+  table.add_string("trace-out", "PATH",
+                   "write a Chrome trace_event JSON of the sampled spans",
+                   &o.trace_out);
+  table.add_real("trace-sample",
+                 "fraction of sessions/messages traced (default 1.0)",
+                 &o.trace_sample);
 }
+
 
 void apply_scale(ScenarioSpec& spec, const Options& o) {
   if (o.population > 0) spec.population = o.population;
@@ -168,7 +186,7 @@ void fail(ScenarioOutcome& out, const std::string& why) {
 }
 
 ScenarioOutcome run_one(const ScenarioSpec& spec, const Options& o,
-                        core::SweepRunner& sweeps) {
+                        core::SweepRunner& sweeps, obs::Tracer* tracer) {
   ScenarioOutcome out;
   workload::FleetProgress progress;
   if (o.progress) {
@@ -180,7 +198,7 @@ ScenarioOutcome run_one(const ScenarioSpec& spec, const Options& o,
   }
 
   const bench::WallTimer timer;
-  out.tally = workload::run_scenario(sweeps, spec, progress);
+  out.tally = workload::run_scenario(sweeps, spec, progress, tracer);
   out.wall_seconds = timer.seconds();
   const FleetTally& t = out.tally;
 
@@ -254,7 +272,23 @@ ScenarioOutcome run_one(const ScenarioSpec& spec, const Options& o,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options o = parse_options(argc, argv);
+  Options o;
+  OptionTable cli;
+  add_load_options(cli, o);
+  try {
+    cli.parse_cli(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << "service_load: " << e.what() << "\n";
+    return 2;
+  }
+  if (const char* env = std::getenv("EMERGENCE_BENCH_THREADS")) {
+    o.threads = bench::parse_count(env, o.threads, "EMERGENCE_BENCH_THREADS");
+  }
+  if (o.help) {
+    std::cout << "service_load: open-loop session fleets over shared worlds\n"
+              << cli.help();
+    return 0;
+  }
   if (o.list) {
     list_scenarios();
     return 0;
@@ -278,12 +312,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  core::SweepRunner sweeps = bench::make_runner(argc, argv);
+  core::SweepRunner sweeps(core::SweepOptions{o.threads, 64});
   std::cout << "# == service_load: open-loop session fleets over shared "
                "worlds ==\n"
             << "# " << specs.size() << " scenario(s), pool of "
             << sweeps.threads() << " thread(s); tallies are bit-identical at "
                "any thread count.\n\n";
+
+  // One tracer for the whole invocation (null = off). Its sampling streams
+  // are keyed on content and forked from its own seed, so running with a
+  // tracer cannot change any fingerprint the gates below compare.
+  std::optional<obs::Tracer> tracer;
+  if (!o.trace_out.empty()) {
+    tracer.emplace(specs[0].seed, o.trace_sample);
+    std::cout << "# tracing to " << o.trace_out << " (sample rate "
+              << o.trace_sample << ")\n\n";
+  }
 
   bench::BenchReport json("service", specs.size(), sweeps.threads(),
                           o.matrix ? "matrix" : specs[0].name, specs[0].seed);
@@ -320,7 +364,10 @@ int main(int argc, char** argv) {
       ScenarioOutcome out;
       try {
         spec.validate();
-        out = run_one(spec, o, sweeps);
+        // Only the first run of a compare set feeds the tracer — re-runs
+        // would duplicate every sampled span in the export.
+        out = run_one(spec, o, sweeps,
+                      run == 0 && tracer.has_value() ? &*tracer : nullptr);
       } catch (const Error& e) {
         out.pass = false;
         out.failure = e.what();
@@ -330,6 +377,7 @@ int main(int argc, char** argv) {
       if (run == 0) {
         first_fp = t.fingerprint();
         first_tfp = t.transport.fingerprint();
+        obs::publish(json.metrics(), t, {{"scenario", base_spec.name}});
       } else if (t.fingerprint() != first_fp ||
                  t.transport.fingerprint() != first_tfp) {
         fail(out, "tallies not domain-count invariant (domains=" +
@@ -423,6 +471,18 @@ int main(int argc, char** argv) {
     json.set_extra("min_speedup", o.min_speedup);
   }
   json.finish();
+
+  if (tracer.has_value()) {
+    std::ofstream trace_os(o.trace_out);
+    if (!trace_os) {
+      std::cerr << "service_load: could not open --trace-out path '"
+                << o.trace_out << "'\n";
+      return 2;
+    }
+    tracer->write_chrome_trace(trace_os);
+    std::cout << "# trace: " << o.trace_out << " (" << tracer->event_count()
+              << " events)\n";
+  }
 
   if (!all_pass) {
     std::cerr << "\nservice_load: FAILED (sanity, invariance or budget "

@@ -1,0 +1,42 @@
+// One FNV-1a digest for every fingerprint in the repository.
+//
+// TransportStats::fingerprint and FleetTally::fingerprint each grew their
+// own copy of the same byte-wise FNV-1a loop; the observability layer adds
+// two more digest users (MetricsRegistry, trace sampling keys). This header
+// is the single implementation. The construction is pinned by golden tests
+// (tests/test_obs.cpp): offset 0xcbf29ce484222325, prime 0x100000001b3,
+// mixed over the 8 little-endian bytes of each u64 — changing it would
+// silently invalidate every recorded fingerprint in BENCH artifacts and CI
+// gates, so don't.
+#pragma once
+
+#include <cstdint>
+
+namespace emergence {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Mixes the 8 bytes of `v` (low byte first) into the running hash `h`.
+inline void fnv1a_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+/// Streaming FNV-1a accumulator over u64 values. Equal value sequences
+/// yield equal digests; the digest of the empty sequence is kFnvOffset.
+class Fingerprint {
+ public:
+  Fingerprint& mix(std::uint64_t v) {
+    fnv1a_mix(h_, v);
+    return *this;
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+}  // namespace emergence

@@ -397,17 +397,21 @@ void ChordNetwork::send_message(const NodeId& from, const NodeId& to,
       (ctx != nullptr && ctx->transport_stats != nullptr)
           ? *ctx->transport_stats
           : transport_stats_;
-  transport_.send(simulator_, rng, stats, from, to,
-                  [this, from, to, payload = std::move(payload)]() {
-                    ChordNode* dest = live_node(to);
-                    if (dest == nullptr) return;  // dead destination: lost
-                    auto it = handlers_.find(to);
-                    if (it != handlers_.end()) {
-                      it->second(from, to, *payload);
-                    } else if (default_handler_) {
-                      default_handler_(from, to, *payload);
-                    }
-                  });
+  obs::TraceShard* trace =
+      (ctx != nullptr && ctx->trace != nullptr) ? ctx->trace : trace_shard_;
+  transport_.send(
+      simulator_, rng, stats, from, to,
+      [this, from, to, payload = std::move(payload)]() {
+        ChordNode* dest = live_node(to);
+        if (dest == nullptr) return;  // dead destination: lost
+        auto it = handlers_.find(to);
+        if (it != handlers_.end()) {
+          it->second(from, to, *payload);
+        } else if (default_handler_) {
+          default_handler_(from, to, *payload);
+        }
+      },
+      trace);
 }
 
 void ChordNetwork::send_message_routed(const NodeId& from,
@@ -421,19 +425,23 @@ void ChordNetwork::send_message_routed(const NodeId& from,
       (ctx != nullptr && ctx->transport_stats != nullptr)
           ? *ctx->transport_stats
           : transport_stats_;
-  transport_.send(simulator_, rng, stats, from, ring_point,
-                  [this, from, ring_point, payload = std::move(payload)]() {
-                    const LookupResult result = lookup(ring_point);
-                    if (!result.ok) return;
-                    ChordNode* dest = live_node(result.node);
-                    if (dest == nullptr) return;
-                    auto it = handlers_.find(result.node);
-                    if (it != handlers_.end()) {
-                      it->second(from, result.node, *payload);
-                    } else if (default_handler_) {
-                      default_handler_(from, result.node, *payload);
-                    }
-                  });
+  obs::TraceShard* trace =
+      (ctx != nullptr && ctx->trace != nullptr) ? ctx->trace : trace_shard_;
+  transport_.send(
+      simulator_, rng, stats, from, ring_point,
+      [this, from, ring_point, payload = std::move(payload)]() {
+        const LookupResult result = lookup(ring_point);
+        if (!result.ok) return;
+        ChordNode* dest = live_node(result.node);
+        if (dest == nullptr) return;
+        auto it = handlers_.find(result.node);
+        if (it != handlers_.end()) {
+          it->second(from, result.node, *payload);
+        } else if (default_handler_) {
+          default_handler_(from, result.node, *payload);
+        }
+      },
+      trace);
 }
 
 void ChordNetwork::run_maintenance_round() {

@@ -167,6 +167,9 @@ class ChordNetwork final : public Network {
   const TransportStats& transport_stats() const override {
     return transport_stats_;
   }
+  /// Serial trace shard (null = tracing off). Parallel runs override it
+  /// per-domain via ExecutionContext::trace, same as the stats shards.
+  void set_trace_shard(obs::TraceShard* shard) { trace_shard_ = shard; }
   const NetworkConfig& config() const { return config_; }
   LookupStats& lookup_stats() { return lookup_stats_; }
   const MaintenanceStats& maintenance_stats() const {
@@ -192,6 +195,7 @@ class ChordNetwork final : public Network {
   /// config_.transport resolved against the configured latency range.
   TransportModel transport_;
   TransportStats transport_stats_;
+  obs::TraceShard* trace_shard_ = nullptr;
 
   /// Node arena: stable addresses, no per-node unique_ptr allocation, dead
   /// nodes stay (peers probe their liveness, exactly as before).

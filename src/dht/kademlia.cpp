@@ -454,10 +454,14 @@ void KademliaNetwork::send_message(const NodeId& from, const NodeId& to,
       (ctx != nullptr && ctx->transport_stats != nullptr)
           ? *ctx->transport_stats
           : transport_stats_;
-  transport_.send(simulator_, rng, stats, from, to,
-                  [this, from, to, payload = std::move(payload)]() {
-                    deliver(from, to, *payload);
-                  });
+  obs::TraceShard* trace =
+      (ctx != nullptr && ctx->trace != nullptr) ? ctx->trace : trace_shard_;
+  transport_.send(
+      simulator_, rng, stats, from, to,
+      [this, from, to, payload = std::move(payload)]() {
+        deliver(from, to, *payload);
+      },
+      trace);
 }
 
 void KademliaNetwork::send_message_routed(const NodeId& from,
@@ -471,12 +475,16 @@ void KademliaNetwork::send_message_routed(const NodeId& from,
       (ctx != nullptr && ctx->transport_stats != nullptr)
           ? *ctx->transport_stats
           : transport_stats_;
-  transport_.send(simulator_, rng, stats, from, ring_point,
-                  [this, from, ring_point, payload = std::move(payload)]() {
-                    const LookupResult result = lookup(ring_point);
-                    if (!result.ok) return;
-                    deliver(from, result.node, *payload);
-                  });
+  obs::TraceShard* trace =
+      (ctx != nullptr && ctx->trace != nullptr) ? ctx->trace : trace_shard_;
+  transport_.send(
+      simulator_, rng, stats, from, ring_point,
+      [this, from, ring_point, payload = std::move(payload)]() {
+        const LookupResult result = lookup(ring_point);
+        if (!result.ok) return;
+        deliver(from, result.node, *payload);
+      },
+      trace);
 }
 
 void KademliaNetwork::republish_round() {

@@ -160,6 +160,9 @@ class KademliaNetwork final : public Network {
   const TransportStats& transport_stats() const override {
     return transport_stats_;
   }
+  /// Serial trace shard (null = tracing off). Parallel runs override it
+  /// per-domain via ExecutionContext::trace, same as the stats shards.
+  void set_trace_shard(obs::TraceShard* shard) { trace_shard_ = shard; }
 
   const std::vector<NodeId>& alive_ids() const override { return alive_ids_; }
   const LiveRingIndex& live_ring() const { return live_ring_; }
@@ -194,6 +197,7 @@ class KademliaNetwork final : public Network {
   /// config_.transport resolved against the configured latency range.
   TransportModel transport_;
   TransportStats transport_stats_;
+  obs::TraceShard* trace_shard_ = nullptr;
   /// Node arena (stable addresses, no per-node allocation churn).
   std::deque<KademliaNode> arena_;
   std::unordered_map<NodeId, KademliaNode*, NodeIdHash> nodes_;

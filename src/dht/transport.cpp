@@ -6,6 +6,9 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "common/hex.hpp"
+#include "obs/trace.hpp"
 
 namespace emergence::dht {
 
@@ -18,30 +21,18 @@ void TransportStats::merge(const TransportStats& other) {
   hop_latency_us.merge(other.hop_latency_us);
 }
 
-namespace {
-
-void fnv(std::uint64_t& h, std::uint64_t v) {
-  // FNV-1a over the 8 bytes of v (same digest the tally fingerprints use).
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= 0x100000001b3ULL;
-  }
-}
-
-}  // namespace
-
 std::uint64_t TransportStats::fingerprint() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  fnv(h, messages);
-  fnv(h, attempts);
-  fnv(h, dropped);
-  fnv(h, retried);
-  fnv(h, timed_out);
+  Fingerprint fp;
+  fp.mix(messages);
+  fp.mix(attempts);
+  fp.mix(dropped);
+  fp.mix(retried);
+  fp.mix(timed_out);
   for (const auto& [key, weight] : hop_latency_us.bins()) {
-    fnv(h, static_cast<std::uint64_t>(key));
-    fnv(h, weight);
+    fp.mix(static_cast<std::uint64_t>(key));
+    fp.mix(weight);
   }
-  return h;
+  return fp.value();
 }
 
 TransportModel TransportModel::ideal() { return TransportModel{}; }
@@ -410,18 +401,49 @@ double TransportModel::sample_latency(Rng& rng, bool cross) const {
   return max_latency;
 }
 
+namespace {
+
+/// The id's first 8 bytes, big-endian — the same prefix compute_zone keys
+/// its fork on. Feeds the hop-span sampling key.
+std::uint64_t id_prefix(const NodeId& id) {
+  std::uint64_t prefix = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    prefix = (prefix << 8) | id.bytes()[i];
+  }
+  return prefix;
+}
+
+}  // namespace
+
 void TransportModel::send(sim::Simulator& sim, Rng& rng, TransportStats& stats,
                           const NodeId& from, const NodeId& to,
-                          std::function<void()> deliver) const {
+                          std::function<void()> deliver,
+                          obs::TraceShard* trace) const {
   ++stats.messages;
   const bool cross = kind == LatencyKind::kZoned && cross_zone(from, to);
-  attempt(sim, rng, stats, cross, std::move(deliver), 0);
+  // Hop-span sampling is decided ONCE per logical message, keyed purely on
+  // content (endpoint prefixes + send time) via the tracer's own forked
+  // stream — no draw from `rng`, so schedules and stats are bit-identical
+  // with tracing on or off, and the decision is independent of the domain
+  // and thread layout. Retransmits inherit the decision through the
+  // closure.
+  std::string link;
+  if (trace != nullptr &&
+      trace->sample(obs::hop_sample_key(id_prefix(from), id_prefix(to),
+                                        sim.now()))) {
+    link = from.to_hex().substr(0, 8) + ">" + to.to_hex().substr(0, 8);
+  } else {
+    trace = nullptr;
+  }
+  attempt(sim, rng, stats, cross, std::move(deliver), 0, trace,
+          std::move(link));
 }
 
 void TransportModel::attempt(sim::Simulator& sim, Rng& rng,
                              TransportStats& stats, bool cross,
                              std::function<void()> deliver,
-                             std::size_t attempt_index) const {
+                             std::size_t attempt_index, obs::TraceShard* trace,
+                             std::string link) const {
   ++stats.attempts;
   bool lost = false;
   if (partition_active(sim.now()) && (zone_count <= 1 || cross)) {
@@ -431,25 +453,40 @@ void TransportModel::attempt(sim::Simulator& sim, Rng& rng,
     // bit-identity contract (Rng::chance always draws for p in (0, 1)).
     lost = rng.chance(drop_probability);
   }
+  auto hop_event = [&](const char* name, std::int64_t dur_us) {
+    obs::TraceEvent e;
+    e.ts_us = std::llround(sim.now() * 1e6);
+    e.dur_us = dur_us;
+    e.name = name;
+    e.cat = "transport";
+    e.args = {{"link", link},
+              {"attempt", std::to_string(attempt_index)}};
+    trace->record(std::move(e));
+  };
   if (lost) {
     ++stats.dropped;
     if (attempt_index < max_retries) {
       ++stats.retried;
+      if (trace != nullptr) hop_event("hop_drop", 0);
       const double rto = retry_timeout *
                          std::pow(retry_backoff,
                                   static_cast<double>(attempt_index));
       sim.schedule_in(rto, [this, &sim, &rng, &stats, cross,
-                            deliver = std::move(deliver),
-                            attempt_index]() mutable {
-        attempt(sim, rng, stats, cross, std::move(deliver), attempt_index + 1);
+                            deliver = std::move(deliver), attempt_index,
+                            trace, link = std::move(link)]() mutable {
+        attempt(sim, rng, stats, cross, std::move(deliver), attempt_index + 1,
+                trace, std::move(link));
       });
     } else {
       ++stats.timed_out;
+      if (trace != nullptr) hop_event("hop_timeout", 0);
     }
     return;
   }
   const double latency = sample_latency(rng, cross);
-  stats.hop_latency_us.add(std::llround(latency * 1e6));
+  const std::int64_t latency_us = std::llround(latency * 1e6);
+  stats.hop_latency_us.add(latency_us);
+  if (trace != nullptr) hop_event("hop", latency_us);
   sim.schedule_in(latency, std::move(deliver));
 }
 

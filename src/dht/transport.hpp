@@ -31,6 +31,10 @@
 #include "dht/node_id.hpp"
 #include "sim/simulator.hpp"
 
+namespace emergence::obs {
+class TraceShard;
+}  // namespace emergence::obs
+
 namespace emergence::dht {
 
 /// Exact per-network transport counters. Integer counters plus the exact
@@ -178,15 +182,21 @@ struct TransportModel {
   /// Schedules `deliver` for one logical message from->to: samples the
   /// drop/latency chain, records stats, and schedules retransmits as real
   /// simulator events on loss. With no loss configured this is exactly the
-  /// historical path: one latency sample, one scheduled event.
+  /// historical path: one latency sample, one scheduled event. `trace`
+  /// (may be null: tracing off) receives sampled per-attempt hop spans —
+  /// the sampling decision is keyed on message content through the
+  /// tracer's own forked stream, so it never consumes a draw from `rng`
+  /// and schedules/stats stay bit-identical with tracing on or off.
   void send(sim::Simulator& sim, Rng& rng, TransportStats& stats,
             const NodeId& from, const NodeId& to,
-            std::function<void()> deliver) const;
+            std::function<void()> deliver,
+            obs::TraceShard* trace = nullptr) const;
 
  private:
   void attempt(sim::Simulator& sim, Rng& rng, TransportStats& stats,
                bool cross, std::function<void()> deliver,
-               std::size_t attempt_index) const;
+               std::size_t attempt_index, obs::TraceShard* trace,
+               std::string link) const;
 
   /// Zone cache: zone_of is pure in the id, so entries never invalidate
   /// (churn rejoins reuse ids). Filled ONLY via prime_zone() from serial

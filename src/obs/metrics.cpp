@@ -1,0 +1,209 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/fingerprint.hpp"
+
+namespace emergence::obs {
+
+namespace {
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || c == '_' || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+void json_real(std::ostream& os, double v) {
+  if (v != v || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity()) {
+    os << "null";
+    return;
+  }
+  const auto old_precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  os.precision(old_precision);
+}
+
+/// The expanded pseudo-series of one histogram, shared by flatten() and
+/// to_prometheus() so the wire and the scrape never disagree.
+std::vector<std::pair<std::string, double>> expand_histogram(
+    const std::string& key, const Histogram64& h) {
+  return {{key + "_count", static_cast<double>(h.count())},
+          {key + "_min", static_cast<double>(h.min())},
+          {key + "_max", static_cast<double>(h.max())},
+          {key + "_mean", h.mean()},
+          {key + "_p50", static_cast<double>(h.percentile(0.50))},
+          {key + "_p99", static_cast<double>(h.percentile(0.99))}};
+}
+
+}  // namespace
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  require(valid_name(name),
+          "MetricsRegistry: invalid metric name '" + name +
+              "' (want [a-zA-Z_][a-zA-Z0-9_]*)");
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name + "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    require(valid_name(sorted[i].first),
+            "MetricsRegistry: invalid label name '" + sorted[i].first + "'");
+    if (i > 0) key += ",";
+    key += sorted[i].first + "=\"" + sorted[i].second + "\"";
+  }
+  key += "}";
+  return key;
+}
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name,
+                                        const Labels& labels) {
+  return counters_[series_key(name, labels)];
+}
+
+double& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return gauges_[series_key(name, labels)];
+}
+
+Histogram64& MetricsRegistry::histogram(const std::string& name,
+                                        const Labels& labels) {
+  return histograms_[series_key(name, labels)];
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, value] : other.counters_) counters_[key] += value;
+  for (const auto& [key, value] : other.gauges_) {
+    auto [it, inserted] = gauges_.emplace(key, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+  for (const auto& [key, value] : other.histograms_) {
+    histograms_[key].merge(value);
+  }
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::flatten() const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [key, value] : counters_) {
+    out.emplace_back(key, static_cast<double>(value));
+  }
+  for (const auto& [key, value] : gauges_) out.emplace_back(key, value);
+  for (const auto& [key, h] : histograms_) {
+    for (auto& row : expand_histogram(key, h)) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  auto base_name = [](const std::string& key) {
+    const std::size_t brace = key.find('{');
+    return brace == std::string::npos ? key : key.substr(0, brace);
+  };
+  std::string last_typed;
+  auto type_line = [&](const std::string& key, const char* type) {
+    const std::string base = base_name(key);
+    if (base == last_typed) return;
+    last_typed = base;
+    out += "# TYPE " + base + " " + type + "\n";
+  };
+  for (const auto& [key, value] : counters_) {
+    type_line(key, "counter");
+    out += key + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [key, value] : gauges_) {
+    type_line(key, "gauge");
+    out += key + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    for (const auto& [name, value] : expand_histogram(key, h)) {
+      type_line(name, "gauge");
+      out += name + " " + std::to_string(value) + "\n";
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os,
+                                 const std::string& indent) const {
+  os << "{\n" << indent << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, value] : counters_) {
+    os << (first ? "" : ",") << "\n" << indent << "    ";
+    json_string(os, key);
+    os << ": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n" + indent + "  ") << "},\n"
+     << indent << "  \"gauges\": {";
+  first = true;
+  for (const auto& [key, value] : gauges_) {
+    os << (first ? "" : ",") << "\n" << indent << "    ";
+    json_string(os, key);
+    os << ": ";
+    json_real(os, value);
+    first = false;
+  }
+  os << (first ? "" : "\n" + indent + "  ") << "},\n"
+     << indent << "  \"histograms\": {";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    os << (first ? "" : ",") << "\n" << indent << "    ";
+    json_string(os, key);
+    os << ": {\"count\": " << h.count() << ", \"min\": " << h.min()
+       << ", \"max\": " << h.max() << ", \"mean\": ";
+    json_real(os, h.mean());
+    os << ", \"p50\": " << h.percentile(0.50)
+       << ", \"p99\": " << h.percentile(0.99) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + indent + "  ") << "}\n" << indent << "}";
+}
+
+std::uint64_t MetricsRegistry::fingerprint() const {
+  Fingerprint fp;
+  auto mix_key = [&fp](const std::string& key) {
+    for (char c : key) fp.mix(static_cast<std::uint64_t>(c));
+  };
+  for (const auto& [key, value] : counters_) {
+    mix_key(key);
+    fp.mix(value);
+  }
+  for (const auto& [key, value] : gauges_) {
+    mix_key(key);
+    fp.mix(std::bit_cast<std::uint64_t>(value));
+  }
+  for (const auto& [key, h] : histograms_) {
+    mix_key(key);
+    for (const auto& [bin, weight] : h.bins()) {
+      fp.mix(static_cast<std::uint64_t>(bin));
+      fp.mix(weight);
+    }
+  }
+  return fp.value();
+}
+
+}  // namespace emergence::obs

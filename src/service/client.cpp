@@ -32,6 +32,8 @@ void WireClient::handle_datagram(const Endpoint& from, BytesView datagram) {
           last_ack_ = std::move(m);
         } else if constexpr (std::is_same_v<T, StatusReply>) {
           last_status_ = std::move(m);
+        } else if constexpr (std::is_same_v<T, MetricsResponse>) {
+          last_metrics_ = std::move(m);
         } else if constexpr (std::is_same_v<T, Deliver>) {
           try {
             api::EmergeEvent event = api::decode_emerge_event(m.event);
@@ -136,6 +138,37 @@ StatusReply WireClient::status_of(const Endpoint& target,
   }
   ++stats_.request_timeouts;
   throw ProtocolError("WireClient: no status reply from " +
+                      target.to_string());
+}
+
+MetricsResponse WireClient::metrics_of(const Endpoint& target,
+                                       double max_wait_seconds) {
+  MetricsRequest msg;
+  msg.token = next_token();
+  msg.reply_to = socket_.local_endpoint();
+  const Bytes frame = encode_frame(msg);
+
+  last_metrics_.reset();
+  const double started = clock_.now();
+  const double deadline = started + max_wait_seconds;
+  double next_send = started;
+
+  while (clock_.now() < deadline) {
+    if (last_metrics_.has_value() && last_metrics_->token == msg.token) {
+      MetricsResponse reply = std::move(*last_metrics_);
+      last_metrics_.reset();
+      return reply;
+    }
+    if (clock_.now() >= next_send) {
+      if (next_send != started) ++stats_.request_retries;
+      socket_.send_to(target, frame);
+      ++stats_.frames_sent;
+      next_send = clock_.now() + options_.resend_interval;
+    }
+    if (!pump_()) break;
+  }
+  ++stats_.request_timeouts;
+  throw ProtocolError("WireClient: no metrics reply from " +
                       target.to_string());
 }
 

@@ -63,6 +63,10 @@ class WireClient final : public api::Client {
   /// Throws ProtocolError on timeout.
   StatusReply status_of(const Endpoint& target, double max_wait_seconds);
 
+  /// Sends a MetricsRequest to `target` and pumps for the flattened
+  /// metrics snapshot. Throws ProtocolError on timeout.
+  MetricsResponse metrics_of(const Endpoint& target, double max_wait_seconds);
+
   const WireStats& stats() const { return stats_; }
   std::size_t events_received() const { return events_.size(); }
 
@@ -78,6 +82,7 @@ class WireClient final : public api::Client {
 
   std::optional<SubmitAck> last_ack_;      ///< for the in-flight submit
   std::optional<StatusReply> last_status_; ///< for the in-flight status
+  std::optional<MetricsResponse> last_metrics_;  ///< in-flight metrics query
   std::map<std::uint64_t, api::EmergeEvent> events_;
   WireStats stats_;
 };

@@ -6,6 +6,9 @@
 #include "common/error.hpp"
 #include "emerge/onion.hpp"
 #include "emerge/protocol.hpp"
+#include "obs/bridge.hpp"
+#include "obs/trace.hpp"
+#include "service/udp_socket.hpp"
 
 namespace emergence::service {
 namespace {
@@ -164,6 +167,8 @@ void NodeDaemon::handle_datagram(const Endpoint& from, BytesView datagram) {
           handle_submit(from, std::move(m));
         } else if constexpr (std::is_same_v<T, Status>) {
           on_status(m);
+        } else if constexpr (std::is_same_v<T, MetricsRequest>) {
+          on_metrics(m);
         } else {
           // Every reply type: match against the pending-request table.
           complete_request(token_of(*message), *message);
@@ -456,6 +461,43 @@ void NodeDaemon::on_status(const Status& m) {
   send_message(m.reply_to, reply);
 }
 
+void NodeDaemon::publish_metrics(obs::MetricsRegistry& registry) const {
+  obs::publish(registry, stats_);
+  obs::publish(registry, report_);
+  registry.gauge("emergence_store_size") =
+      static_cast<double>(store_.size());
+  registry.gauge("emergence_holder_slots") =
+      static_cast<double>(slots_.size());
+  registry.gauge("emergence_successors") =
+      static_cast<double>(successors_.size());
+  registry.gauge("emergence_pending_requests") =
+      static_cast<double>(pending_.size());
+  registry.gauge("emergence_joined") = joined_ ? 1.0 : 0.0;
+}
+
+void NodeDaemon::on_metrics(const MetricsRequest& m) {
+  obs::MetricsRegistry registry;
+  publish_metrics(registry);
+  MetricsResponse reply;
+  reply.token = m.token;
+  reply.entries = registry.flatten();
+  send_message(m.reply_to, reply);
+}
+
+void NodeDaemon::trace_session_event(
+    const char* name, std::uint64_t nonce,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (trace_ == nullptr || !trace_->sample(nonce)) return;
+  obs::TraceEvent ev;
+  ev.ts_us = static_cast<std::int64_t>(clock_.now() * 1e6);
+  ev.name = name;
+  ev.cat = "daemon";
+  ev.id = nonce;
+  ev.args = std::move(args);
+  ev.args.emplace_back("node", self_.addr.to_string());
+  trace_->record(std::move(ev));
+}
+
 // -- holder engine ------------------------------------------------------------
 
 void NodeDaemon::route_package(Package&& pkg) {
@@ -488,6 +530,9 @@ void NodeDaemon::accept_package(Package&& pkg) {
     return;
   }
 
+  trace_session_event("package_received", decoded.session_nonce,
+                      {{"column", std::to_string(decoded.column)},
+                       {"holder", std::to_string(decoded.holder_index)}});
   const SlotKey key{decoded.session_nonce, decoded.column,
                     decoded.holder_index};
   HolderSlot& slot = slots_[key];
@@ -515,6 +560,9 @@ void NodeDaemon::process_slot(const SlotKey& key) {
   slot.processed = true;
   const std::uint16_t column = std::get<1>(key);
   const std::uint16_t holder_index = std::get<2>(key);
+  trace_session_event("slot_processed", std::get<0>(key),
+                      {{"column", std::to_string(column)},
+                       {"holder", std::to_string(holder_index)}});
 
   // Layer key: pre-assigned schemes load it from local storage under the
   // slot's ring point (the Put landed on this node because responsibility
@@ -618,6 +666,7 @@ void NodeDaemon::forward_slot(const SlotKey& key,
 void NodeDaemon::deliver_slot(const SlotKey& key, const Bytes& secret) {
   const HolderSlot& slot = slots_[key];
   ++report_.deliveries;
+  trace_session_event("deliver", slot.meta.session_nonce);
   api::EmergeEvent event;
   event.session_nonce = slot.meta.session_nonce;
   event.release_time = slot.meta.release_time();
@@ -779,6 +828,8 @@ void NodeDaemon::handle_submit(const Endpoint& from, Submit&& msg) {
   jobs_[nonce] = std::move(job);
   SubmitJob& stored = jobs_[nonce];
   ++report_.submits_accepted;
+  trace_session_event("submit_accepted", nonce,
+                      {{"l", std::to_string(l)}, {"k", std::to_string(k)}});
 
   SubmitAck ack;
   ack.token = msg.token;

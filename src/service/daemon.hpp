@@ -41,6 +41,11 @@
 #include "service/wire.hpp"
 #include "sim/clock.hpp"
 
+namespace emergence::obs {
+class MetricsRegistry;
+class TraceShard;
+}  // namespace emergence::obs
+
 namespace emergence::service {
 
 struct DaemonConfig {
@@ -100,6 +105,15 @@ class NodeDaemon {
   const std::vector<api::EmergeEvent>& received_events() const {
     return received_events_;
   }
+
+  // -- observability ----------------------------------------------------------
+  /// Publishes every daemon counter (wire stats, report, store/ring gauges)
+  /// onto `registry` — the one snapshot both the MetricsRequest wire answer
+  /// and the periodic Prometheus text dump are built from.
+  void publish_metrics(obs::MetricsRegistry& registry) const;
+  /// Installs a trace shard (null = tracing off) receiving wall-clock
+  /// package/slot/deliver/submit events, sampled per session nonce.
+  void set_trace(obs::TraceShard* trace) { trace_ = trace; }
 
  private:
   using SlotKey = std::tuple<std::uint64_t, std::uint16_t, std::uint16_t>;
@@ -188,6 +202,13 @@ class NodeDaemon {
   void on_store_replica(StoreReplica&& m);
   void on_deliver(const Deliver& m);
   void on_status(const Status& m);
+  void on_metrics(const MetricsRequest& m);
+
+  /// Records one instant event onto the trace shard when the session nonce
+  /// is sampled (no-op with tracing off).
+  void trace_session_event(const char* name, std::uint64_t nonce,
+                           std::vector<std::pair<std::string, std::string>>
+                               args = {});
 
   sim::Clock& clock_;
   DatagramSocket& socket_;
@@ -208,6 +229,7 @@ class NodeDaemon {
 
   WireStats stats_;
   DaemonReport report_;
+  obs::TraceShard* trace_ = nullptr;
 };
 
 }  // namespace emergence::service

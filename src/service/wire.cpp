@@ -189,6 +189,18 @@ struct PayloadWriter {
     w.u64(m.deliveries);
     w.u64(m.malformed_frames);
   }
+  void operator()(const MetricsRequest& m) {
+    w.u64(m.token);
+    write_endpoint(w, m.reply_to);
+  }
+  void operator()(const MetricsResponse& m) {
+    w.u64(m.token);
+    w.u16(static_cast<std::uint16_t>(m.entries.size()));
+    for (const auto& [name, value] : m.entries) {
+      w.str(name);
+      write_f64(w, value);
+    }
+  }
 };
 
 WireMessage decode_payload(MessageType type, BytesView payload) {
@@ -343,6 +355,26 @@ WireMessage decode_payload(MessageType type, BytesView payload) {
       message = m;
       break;
     }
+    case MessageType::kMetricsRequest: {
+      MetricsRequest m;
+      m.token = r.u64();
+      m.reply_to = read_endpoint(r);
+      message = m;
+      break;
+    }
+    case MessageType::kMetricsResponse: {
+      MetricsResponse m;
+      m.token = r.u64();
+      const std::uint16_t count = r.u16();
+      m.entries.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        std::string name = r.str();
+        const double value = read_f64(r);
+        m.entries.emplace_back(std::move(name), value);
+      }
+      message = m;
+      break;
+    }
   }
   r.expect_done();
   return message;
@@ -411,7 +443,9 @@ MessageType message_type(const WireMessage& message) {
     else if constexpr (std::is_same_v<T, Submit>) return MessageType::kSubmit;
     else if constexpr (std::is_same_v<T, SubmitAck>) return MessageType::kSubmitAck;
     else if constexpr (std::is_same_v<T, Status>) return MessageType::kStatus;
-    else return MessageType::kStatusReply;
+    else if constexpr (std::is_same_v<T, StatusReply>) return MessageType::kStatusReply;
+    else if constexpr (std::is_same_v<T, MetricsRequest>) return MessageType::kMetricsRequest;
+    else return MessageType::kMetricsResponse;
   }, message);
   // clang-format on
 }
@@ -462,7 +496,7 @@ std::optional<WireMessage> decode_frame(BytesView datagram, WireStats& stats) {
     return std::nullopt;
   }
   if (raw_type < static_cast<std::uint8_t>(MessageType::kPing) ||
-      raw_type > static_cast<std::uint8_t>(MessageType::kStatusReply)) {
+      raw_type > static_cast<std::uint8_t>(MessageType::kMetricsResponse)) {
     ++stats.unknown_type;
     return std::nullopt;
   }

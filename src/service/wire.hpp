@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -100,6 +101,8 @@ enum class MessageType : std::uint8_t {
   kSubmitAck = 16,
   kStatus = 17,
   kStatusReply = 18,
+  kMetricsRequest = 19,
+  kMetricsResponse = 20,
 };
 
 // -- message structs ----------------------------------------------------------
@@ -253,11 +256,25 @@ struct StatusReply {
   std::uint64_t malformed_frames = 0;
 };
 
+struct MetricsRequest {
+  std::uint64_t token = 0;
+  Endpoint reply_to;
+};
+
+/// Flattened snapshot of the daemon's metrics registry: one (series name,
+/// value) pair per counter/gauge plus the expanded histogram summaries —
+/// the same flattening obs::MetricsRegistry::flatten() produces, so the
+/// wire answer and the periodic text dump always agree.
+struct MetricsResponse {
+  std::uint64_t token = 0;
+  std::vector<std::pair<std::string, double>> entries;
+};
+
 using WireMessage =
     std::variant<Ping, Pong, FindSuccessor, FindSuccessorReply,
                  GetPredecessor, PredecessorReply, Notify, Put, PutAck, Get,
                  GetReply, StoreReplica, Package, Deliver, Submit, SubmitAck,
-                 Status, StatusReply>;
+                 Status, StatusReply, MetricsRequest, MetricsResponse>;
 
 /// The frame type of a message value.
 MessageType message_type(const WireMessage& message);

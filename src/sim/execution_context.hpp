@@ -36,6 +36,9 @@ namespace emergence::dht {
 struct TransportStats;
 struct LookupStats;
 }  // namespace emergence::dht
+namespace emergence::obs {
+class TraceShard;
+}  // namespace emergence::obs
 
 namespace emergence::sim {
 
@@ -57,6 +60,10 @@ class ExecutionContext {
   /// commutatively after the run, so totals are domain-count invariant.
   dht::TransportStats* transport_stats = nullptr;
   dht::LookupStats* lookup_stats = nullptr;
+  /// Per-domain trace buffer replacing the network's serial shard (null =
+  /// tracing off). Exports content-sort the merged shards, so the trace
+  /// bytes — like the stats — are domain-count invariant.
+  obs::TraceShard* trace = nullptr;
 
   /// The context installed on the current thread, or nullptr.
   static ExecutionContext* active() { return active_; }

@@ -9,12 +9,14 @@
 
 #include "cloud/cloud_store.hpp"
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
 #include "dht/chord_network.hpp"
 #include "dht/churn_driver.hpp"
 #include "dht/kademlia.hpp"
 #include "emerge/e2e_runner.hpp"
 #include "emerge/protocol.hpp"
 #include "emerge/session_dispatcher.hpp"
+#include "obs/trace.hpp"
 #include "sim/domain_executor.hpp"
 #include "sim/execution_context.hpp"
 #include "sim/simulator.hpp"
@@ -55,55 +57,43 @@ void FleetTally::merge(const FleetTally& other) {
   }
 }
 
-namespace {
-
-void fnv(std::uint64_t& h, std::uint64_t v) {
-  // FNV-1a over the 8 bytes of v.
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= 0x100000001b3ULL;
-  }
-}
-
-}  // namespace
-
 std::uint64_t FleetTally::fingerprint() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  fnv(h, tally.release.trials());
-  fnv(h, tally.release.successes());
-  fnv(h, tally.drop.successes());
-  for (std::uint64_t bin : tally.suffix_histogram) fnv(h, bin);
+  Fingerprint fp;
+  fp.mix(tally.release.trials());
+  fp.mix(tally.release.successes());
+  fp.mix(tally.drop.successes());
+  for (std::uint64_t bin : tally.suffix_histogram) fp.mix(bin);
   for (const auto& [key, weight] : latency_us.bins()) {
-    fnv(h, static_cast<std::uint64_t>(key));
-    fnv(h, weight);
+    fp.mix(static_cast<std::uint64_t>(key));
+    fp.mix(weight);
   }
-  fnv(h, sessions_started);
-  fnv(h, sessions_delivered);
-  fnv(h, delivered_on_time);
-  fnv(h, static_cast<std::uint64_t>(max_delivery_offset_ns));
-  fnv(h, payload_mismatches);
-  fnv(h, packages_sent);
-  fnv(h, packages_delivered);
-  fnv(h, packages_dropped_malicious);
-  fnv(h, malformed_packages);
-  fnv(h, holders_stuck);
-  fnv(h, key_assignments);
-  fnv(h, deliveries);
-  fnv(h, churn_deaths);
-  fnv(h, churn_transients);
-  fnv(h, churn_replacements);
-  fnv(h, stray_packages);
-  fnv(h, arena_slots);
-  fnv(h, peak_live_sessions);
-  fnv(h, events_executed);
-  fnv(h, worlds);
+  fp.mix(sessions_started);
+  fp.mix(sessions_delivered);
+  fp.mix(delivered_on_time);
+  fp.mix(static_cast<std::uint64_t>(max_delivery_offset_ns));
+  fp.mix(payload_mismatches);
+  fp.mix(packages_sent);
+  fp.mix(packages_delivered);
+  fp.mix(packages_dropped_malicious);
+  fp.mix(malformed_packages);
+  fp.mix(holders_stuck);
+  fp.mix(key_assignments);
+  fp.mix(deliveries);
+  fp.mix(churn_deaths);
+  fp.mix(churn_transients);
+  fp.mix(churn_replacements);
+  fp.mix(stray_packages);
+  fp.mix(arena_slots);
+  fp.mix(peak_live_sessions);
+  fp.mix(events_executed);
+  fp.mix(worlds);
   // horizon is a double but merges exactly (max), so its bits belong in
   // the digest too.
   std::uint64_t horizon_bits = 0;
   static_assert(sizeof(horizon_bits) == sizeof(horizon));
   std::memcpy(&horizon_bits, &horizon, sizeof(horizon_bits));
-  fnv(h, horizon_bits);
-  return h;
+  fp.mix(horizon_bits);
+  return fp.value();
 }
 
 namespace {
@@ -180,6 +170,16 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
   cloud::CloudStore cloud;
   core::SessionDispatcher dispatcher(*net);
 
+  // Serial trace shard: barrier-phase network traffic (maintenance, churn,
+  // legacy-mode sessions) plus the lifecycle spans the reaper emits. Null
+  // leaves tracing entirely off — no recording, no sampling.
+  obs::TraceShard* serial_trace = nullptr;
+  if (tracer_ != nullptr) {
+    serial_trace = tracer_->new_shard();
+    if (chord) chord->set_trace_shard(serial_trace);
+    if (kademlia) kademlia->set_trace_shard(serial_trace);
+  }
+
   // -- executor mode (spec.domains >= 1): conservative-window parallel
   // execution of this one world. The lookahead is the transport's
   // single-attempt latency floor (min_single_latency; the constructor
@@ -190,12 +190,22 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
   std::optional<sim::DomainExecutor> exec;
   std::vector<dht::TransportStats> domain_tstats;
   std::vector<dht::LookupStats> domain_lstats;
+  std::vector<obs::TraceShard*> domain_traces;
   if (s.domains >= 1) {
     const double lookahead =
         std::min(net->transport().min_single_latency(), kReapGrace / 2.0);
     exec.emplace(sim, s.domains, lookahead);
     domain_tstats.resize(s.domains);
     domain_lstats.resize(s.domains);
+    if (tracer_ != nullptr) {
+      // One single-writer shard per domain, same idiom as the stats shards.
+      // Exports content-sort the merged multiset, so the trace bytes are
+      // invariant across domain counts just like the merged stats.
+      domain_traces.resize(s.domains);
+      for (std::size_t d = 0; d < s.domains; ++d) {
+        domain_traces[d] = tracer_->new_shard();
+      }
+    }
   }
 
   // One shared coalition, marked once per world; per-session Adversary
@@ -289,6 +299,51 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
         if (!plain.has_value() || *plain != payload) ++out.payload_mismatches;
       }
     }
+    // Lifecycle spans, emitted here at the serial reap barrier where every
+    // timing fact of the session is known. The sampling key is pure content
+    // (world, session index) — never a world rng draw — so the sampled set
+    // is identical at any domain/thread count and with tracing on or off
+    // the tally bytes cannot differ.
+    if (serial_trace != nullptr) {
+      Fingerprint key;
+      key.mix(world_index_);
+      key.mix(slot.index);
+      if (serial_trace->sample(key.value())) {
+        const std::uint64_t span_id =
+            (static_cast<std::uint64_t>(world_index_) << 40) | slot.index;
+        auto record = [&](const char* name, double at, double dur,
+                          std::vector<std::pair<std::string, std::string>>
+                              extra = {}) {
+          obs::TraceEvent ev;
+          ev.ts_us = static_cast<std::int64_t>(std::llround(at * 1e6));
+          ev.dur_us = static_cast<std::int64_t>(std::llround(dur * 1e6));
+          ev.name = name;
+          ev.cat = "session";
+          ev.id = span_id;
+          ev.args = {{"world", std::to_string(world_index_)},
+                     {"session", std::to_string(slot.index)}};
+          for (auto& kv : extra) ev.args.push_back(std::move(kv));
+          serial_trace->record(std::move(ev));
+        };
+        record("submit", slot.send_time, 0.0);
+        record("onion_build", slot.send_time, 0.0,
+               {{"k", std::to_string(shape.k)},
+                {"l", std::to_string(shape.l)}});
+        record("layer_key_puts", slot.send_time, 0.0,
+               {{"count", std::to_string(report.key_assignments)}});
+        for (std::size_t c = 1; c <= shape.l; ++c) {
+          record("hold", slot.send_time + static_cast<double>(c - 1) * th, th,
+                 {{"column", std::to_string(c)}});
+        }
+        if (outcome.delivered) {
+          record("reassemble", slot.release_time, 0.0);
+          record("deliver", slot.release_time, 0.0,
+                 {{"on_time", outcome.on_time ? "1" : "0"}});
+        } else {
+          record("drop", slot.release_time, 0.0);
+        }
+      }
+    }
     out.packages_sent += report.packages_sent;
     out.packages_delivered += report.packages_delivered;
     out.packages_dropped_malicious += report.packages_dropped_malicious;
@@ -357,6 +412,7 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
         ctx.rng = &slot.rng;
         ctx.transport_stats = &domain_tstats[slot.domain];
         ctx.lookup_stats = &domain_lstats[slot.domain];
+        if (!domain_traces.empty()) ctx.trace = domain_traces[slot.domain];
         scope.emplace(ctx);
       }
       slot.session.emplace(core::SessionArgs{
@@ -466,11 +522,11 @@ FleetTally SessionFleet::run(const FleetProgress& progress) {
 }
 
 FleetTally run_scenario(core::SweepRunner& sweeps, const ScenarioSpec& spec,
-                        const FleetProgress& progress) {
+                        const FleetProgress& progress, obs::Tracer* tracer) {
   spec.validate();
   std::vector<FleetTally> tallies(spec.worlds);
   sweeps.run_shards(spec.worlds, [&](std::size_t world) {
-    SessionFleet fleet(spec, world);
+    SessionFleet fleet(spec, world, tracer);
     tallies[world] =
         fleet.run(spec.worlds == 1 ? progress : FleetProgress{});
   });

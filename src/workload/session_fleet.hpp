@@ -39,6 +39,10 @@
 #include "emerge/sweep.hpp"
 #include "workload/scenario.hpp"
 
+namespace emergence::obs {
+class Tracer;
+}  // namespace emergence::obs
+
 namespace emergence::workload {
 
 /// Exact aggregate of fleet outcomes. Every field merges exactly (integer
@@ -125,9 +129,13 @@ class SessionFleet {
   /// Every this-many-th delivered session is decrypt-verified end to end.
   static constexpr std::uint64_t kPayloadCheckStride = 997;
 
-  /// `spec` must already be validate()d (run_scenario does).
-  SessionFleet(const ScenarioSpec& spec, std::size_t world_index)
-      : spec_(spec), world_index_(world_index) {}
+  /// `spec` must already be validate()d (run_scenario does). `tracer` (may
+  /// be null: tracing off) receives the world's lifecycle + hop spans; its
+  /// sampling is keyed on content, so the tally is bit-identical with
+  /// tracing on or off.
+  SessionFleet(const ScenarioSpec& spec, std::size_t world_index,
+               obs::Tracer* tracer = nullptr)
+      : spec_(spec), world_index_(world_index), tracer_(tracer) {}
 
   /// Runs the world to completion on the calling thread. `progress` (may
   /// be null) is invoked between drive chunks; it must not mutate the
@@ -137,6 +145,7 @@ class SessionFleet {
  private:
   const ScenarioSpec& spec_;
   std::size_t world_index_;
+  obs::Tracer* tracer_;
 };
 
 /// Runs every world of the scenario across the sweep pool and merges the
@@ -144,6 +153,7 @@ class SessionFleet {
 /// `progress` is forwarded only when worlds == 1 (a single serial world);
 /// multi-world runs report nothing mid-flight.
 FleetTally run_scenario(core::SweepRunner& sweeps, const ScenarioSpec& spec,
-                        const FleetProgress& progress = nullptr);
+                        const FleetProgress& progress = nullptr,
+                        obs::Tracer* tracer = nullptr);
 
 }  // namespace emergence::workload

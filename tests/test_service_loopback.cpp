@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/datagram.hpp"
@@ -250,6 +251,39 @@ TEST(ServiceLoopback, StatusWalkMatchesInProcessState) {
     cursor = reply.successors.front().addr;
   }
   EXPECT_EQ(walked.size(), 8u);
+}
+
+TEST(ServiceLoopback, MetricsQueryMatchesInProcessRegistry) {
+  Cluster cluster(4);
+  cluster.sim.run_until(20.0);
+  ASSERT_EQ(cluster.ring_walk_size(), 4u);
+
+  LoopbackClient lc(cluster, Endpoint{kLoopbackIp, 8994});
+  for (std::size_t i = 0; i < cluster.nodes.size(); ++i) {
+    const Endpoint target = node_endpoint(i);
+    const MetricsResponse reply = lc.client->metrics_of(target, 10.0);
+    ASSERT_FALSE(reply.entries.empty());
+
+    // The wire snapshot is exactly the in-process registry, flattened —
+    // modulo the counters the query itself bumped between the daemon's
+    // snapshot and ours, so compare the stable daemon-engine series.
+    obs::MetricsRegistry local;
+    cluster.at(target)->publish_metrics(local);
+    auto value_of = [&reply](const std::string& key) {
+      for (const auto& [name, value] : reply.entries) {
+        if (name == key) return value;
+      }
+      ADD_FAILURE() << "missing series " << key;
+      return -1.0;
+    };
+    for (const auto& [key, value] : local.counters()) {
+      if (key.rfind("emergence_daemon_", 0) == 0) {
+        EXPECT_EQ(value_of(key), static_cast<double>(value)) << key;
+      }
+    }
+    EXPECT_EQ(value_of("emergence_joined"), 1.0);
+    EXPECT_GE(value_of("emergence_successors"), 1.0);
+  }
 }
 
 }  // namespace

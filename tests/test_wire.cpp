@@ -74,12 +74,19 @@ std::vector<WireMessage> sample_messages() {
   status.deliveries = 2;
   status.malformed_frames = 0;
   all.push_back(status);
+  all.push_back(MetricsRequest{14, ep(0x7F000001, 9019)});
+  MetricsResponse metrics;
+  metrics.token = 14;
+  metrics.entries = {{"emergence_wire_frames_sent_total", 42.0},
+                     {"emergence_daemon_deliveries_total", 3.0},
+                     {"emergence_store_size", 17.5}};
+  all.push_back(metrics);
   return all;
 }
 
 TEST(Wire, EveryMessageTypeRoundTripsByteIdentical) {
   const auto messages = sample_messages();
-  ASSERT_EQ(messages.size(), 18u);  // every MessageType covered once
+  ASSERT_EQ(messages.size(), 20u);  // every MessageType covered once
 
   std::set<MessageType> seen;
   for (const WireMessage& message : messages) {
@@ -98,7 +105,7 @@ TEST(Wire, EveryMessageTypeRoundTripsByteIdentical) {
     EXPECT_EQ(encode_frame(*decoded), frame)
         << "type " << static_cast<int>(message_type(message));
   }
-  EXPECT_EQ(seen.size(), 18u);
+  EXPECT_EQ(seen.size(), 20u);
 }
 
 TEST(Wire, FloatingPointFieldsSurviveExactly) {

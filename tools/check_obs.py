@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Schema checks for the observability artifacts CI uploads.
+
+Stdlib only. Two subcommands:
+
+  check_obs.py trace BENCH_trace.json [more...]
+      Each file must be valid Chrome trace_event JSON: a top-level object
+      with a "traceEvents" list whose entries are complete-event dicts
+      (ph == "X", integer ts/dur >= 0, non-empty name and cat, string-only
+      args). The same format chrome://tracing and Perfetto load.
+
+  check_obs.py bench BENCH_service.json [more...]
+      Each file must be a schema >= 3 BENCH artifact whose "metrics" block
+      matches what obs::MetricsRegistry::write_json emits: integer
+      counters >= 0, finite-or-null gauges, histograms carrying exactly
+      the count/min/max/mean/p50/p99 summary keys, and every series name
+      prometheus-legal.
+
+Exit 0 when every file passes; 1 with one line per violation otherwise.
+"""
+
+import json
+import re
+import sys
+
+SERIES_RE = re.compile(r'^[A-Za-z_][A-Za-z0-9_]*(\{[A-Za-z_][A-Za-z0-9_]*='
+                       r'"[^"]*"(,[A-Za-z_][A-Za-z0-9_]*="[^"]*")*\})?$')
+HISTOGRAM_KEYS = {"count", "min", "max", "mean", "p50", "p99"}
+
+
+def check_trace(path, doc, fail):
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, 'missing "traceEvents" list')
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(path, f"{where}: not an object")
+            continue
+        if event.get("ph") != "X":
+            fail(path, f'{where}: ph is {event.get("ph")!r}, want "X"')
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                fail(path, f"{where}: {key} is {value!r}, want int >= 0")
+        for key in ("name", "cat"):
+            if not isinstance(event.get(key), str) or not event[key]:
+                fail(path, f"{where}: {key} missing or empty")
+        args = event.get("args", {})
+        if not isinstance(args, dict) or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in args.items()):
+            fail(path, f"{where}: args must map strings to strings")
+    print(f"# {path}: {len(events)} trace events OK")
+
+
+def check_number_or_null(value):
+    return value is None or (isinstance(value, (int, float))
+                             and not isinstance(value, bool))
+
+
+def check_bench(path, doc, fail):
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version < 3:
+        return fail(path, f"schema_version is {version!r}, want int >= 3")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return fail(path, 'missing "metrics" object (schema v3)')
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(path, f"metrics.{section} missing or not an object")
+    series = 0
+    for name, value in metrics.get("counters", {}).items():
+        series += 1
+        if not SERIES_RE.match(name):
+            fail(path, f"counter name {name!r} is not prometheus-legal")
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(path, f"counter {name}: {value!r}, want int >= 0")
+    for name, value in metrics.get("gauges", {}).items():
+        series += 1
+        if not SERIES_RE.match(name):
+            fail(path, f"gauge name {name!r} is not prometheus-legal")
+        if not check_number_or_null(value):
+            fail(path, f"gauge {name}: {value!r}, want number or null")
+    for name, summary in metrics.get("histograms", {}).items():
+        series += 1
+        if not SERIES_RE.match(name):
+            fail(path, f"histogram name {name!r} is not prometheus-legal")
+        if not isinstance(summary, dict) or set(summary) != HISTOGRAM_KEYS:
+            fail(path, f"histogram {name}: keys {sorted(summary)!r}, "
+                       f"want {sorted(HISTOGRAM_KEYS)!r}")
+            continue
+        if not all(check_number_or_null(v) for v in summary.values()):
+            fail(path, f"histogram {name}: non-numeric summary value")
+        if summary["count"] == 0 and summary["max"] != 0:
+            fail(path, f"histogram {name}: empty but max != 0")
+    print(f"# {path}: schema v{version}, {series} metric series OK")
+
+
+def main(argv):
+    if len(argv) < 3 or argv[1] not in ("trace", "bench"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    checker = check_trace if argv[1] == "trace" else check_bench
+    violations = []
+
+    def fail(path, message):
+        violations.append(f"{path}: {message}")
+
+    for path in argv[2:]:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            fail(path, f"unreadable or invalid JSON: {error}")
+            continue
+        checker(path, doc, fail)
+
+    for line in violations:
+        print(f"FAIL {line}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

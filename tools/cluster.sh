@@ -5,8 +5,9 @@
 # ring to converge (successor-walk closes over all N nodes), submits one
 # timed-release session with T seconds to emergence, stays up as the
 # receiver, and asserts
-#   * the secret emerges within TOLERANCE seconds of tr, and
-#   * no daemon counted a single malformed wire frame.
+#   * the secret emerges within TOLERANCE seconds of tr,
+#   * no daemon counted a single malformed wire frame, and
+#   * every node answers a metrics query over the wire (status --metrics).
 #
 # Usage: tools/cluster.sh [BUILD_DIR] [NODES] [T_SECONDS] [TOLERANCE]
 # Exit 0 on success. Daemon logs live in $LOG_DIR (kept on failure so CI
@@ -78,9 +79,9 @@ if ! "$EMERGED" submit --daemon="$SEED_ADDR" \
   exit 1
 fi
 
-echo "cluster.sh: verifying zero malformed frames across the ring"
+echo "cluster.sh: verifying a clean ring and a metrics answer from every node"
 if ! "$EMERGED" status --daemon="$SEED_ADDR" --expect-ring="$NODES" \
-    --expect-clean | tee "$LOG_DIR/status.log"; then
+    --expect-clean --metrics | tee "$LOG_DIR/status.log"; then
   echo "cluster.sh: FAIL - post-run ring check; see $LOG_DIR" >&2
   exit 1
 fi

@@ -19,7 +19,14 @@
 //       Asks one daemon for its status, then walks successor links all the
 //       way around the ring printing each node. --expect-ring fails the
 //       command unless the walk closes with exactly N distinct nodes;
-//       --expect-clean fails it if any node counted a malformed frame.
+//       --expect-clean fails it if any node counted a malformed frame;
+//       --metrics additionally queries every walked node's metrics
+//       snapshot over the wire and fails unless all of them answer.
+//
+// Observability: serve takes --metrics-interval=S (periodic prometheus
+// text dump on stdout), --trace-out=PATH and --trace-sample=RATE (session
+// lifecycle events appended as JSONL, sampled deterministically on the
+// session nonce).
 //
 // tools/cluster.sh composes these into the 16-node localhost harness.
 #include <unistd.h>
@@ -27,13 +34,17 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/options.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/udp_socket.hpp"
@@ -69,12 +80,24 @@ int usage() {
 int cmd_serve(int argc, char** argv) {
   DaemonConfig config;
   double status_interval = 10.0;
+  double metrics_interval = 0.0;
+  std::string trace_out;
+  double trace_sample = 1.0;
   bool help = false;
   OptionTable table;
   add_daemon_options(table, config);
   table.add_real("status-interval",
                  "seconds between status lines on stdout (0 = quiet)",
                  &status_interval);
+  table.add_real("metrics-interval",
+                 "seconds between prometheus text dumps on stdout (0 = off)",
+                 &metrics_interval);
+  table.add_string("trace-out", "PATH",
+                   "append daemon trace events as JSONL to this file",
+                   &trace_out);
+  table.add_real("trace-sample",
+                 "fraction of sessions traced (keyed on the session nonce)",
+                 &trace_sample);
   table.add_flag("help", "print this flag list", &help);
 
   const auto positional = table.parse_cli(argc, argv, 2);
@@ -91,6 +114,20 @@ int cmd_serve(int argc, char** argv) {
   // Containers that all listen on 0.0.0.0:4100 must not share an identity.
   if (config.name.empty()) config.name = default_name(config.listen);
   NodeDaemon daemon(clock, socket, config);
+
+  // Optional JSONL trace sink: the daemon records wall-clock session events
+  // (package_received / slot_processed / deliver / submit_accepted) onto one
+  // tracer shard, drained incrementally so a long-lived daemon never grows
+  // an unbounded buffer.
+  std::optional<obs::Tracer> tracer;
+  std::ofstream trace_os;
+  if (!trace_out.empty()) {
+    tracer.emplace(config.rng_seed, trace_sample);
+    trace_os.open(trace_out, std::ios::app);
+    require(static_cast<bool>(trace_os),
+            "serve: cannot open --trace-out file " + trace_out);
+    daemon.set_trace(tracer->new_shard());
+  }
   daemon.start();
 
   std::signal(SIGINT, handle_signal);
@@ -103,6 +140,8 @@ int cmd_serve(int argc, char** argv) {
 
   double next_status =
       status_interval > 0.0 ? clock.now() + status_interval : 0.0;
+  double next_metrics =
+      metrics_interval > 0.0 ? clock.now() + metrics_interval : 0.0;
   while (g_stop == 0) {
     clock.fire_due();
     double wait = 0.2;
@@ -121,6 +160,17 @@ int cmd_serve(int argc, char** argv) {
                 << " packages_rx=" << r.packages_received
                 << " stuck=" << r.holders_stuck
                 << " malformed=" << s.malformed_frames << std::endl;
+    }
+    if (metrics_interval > 0.0 && clock.now() >= next_metrics) {
+      next_metrics = clock.now() + metrics_interval;
+      obs::MetricsRegistry registry;
+      daemon.publish_metrics(registry);
+      std::cout << "# metrics t=" << std::fixed << clock.now() << "\n"
+                << registry.to_prometheus() << std::flush;
+    }
+    if (tracer.has_value() && tracer->event_count() > 0) {
+      tracer->drain_jsonl(trace_os);
+      trace_os.flush();
     }
   }
   std::cout << "emerged: stopping" << std::endl;
@@ -227,6 +277,7 @@ int cmd_status(int argc, char** argv) {
   std::string bind_text = "127.0.0.1:0";
   std::size_t expect_ring = 0;
   bool expect_clean = false;
+  bool metrics = false;
   bool help = false;
 
   OptionTable table;
@@ -239,6 +290,10 @@ int cmd_status(int argc, char** argv) {
                  &expect_ring);
   table.add_flag("expect-clean",
                  "fail if any node counted a malformed frame", &expect_clean);
+  table.add_flag("metrics",
+                 "also query every walked node's metrics snapshot "
+                 "(fails unless every node answers)",
+                 &metrics);
   table.add_flag("help", "print this flag list", &help);
 
   const auto positional = table.parse_cli(argc, argv, 2);
@@ -256,6 +311,7 @@ int cmd_status(int argc, char** argv) {
   std::set<std::string> seen;
   std::uint64_t malformed_total = 0;
   Endpoint cursor = resolve_endpoint(daemon_text);
+  std::size_t metrics_answers = 0;
   for (std::size_t i = 0; i < 4096; ++i) {
     const StatusReply s = world.client.status_of(cursor, 5.0);
     if (!seen.insert(s.self.id.to_hex()).second) break;  // ring closed
@@ -268,11 +324,30 @@ int cmd_status(int argc, char** argv) {
               << " store=" << s.store_size << " slots=" << s.holder_slots
               << " deliveries=" << s.deliveries
               << " malformed=" << s.malformed_frames << std::endl;
+    if (metrics) {
+      // A node that answers status but not metrics is a FAIL: the throw
+      // propagates to main's handler and exits nonzero.
+      const MetricsResponse m = world.client.metrics_of(s.self.addr, 5.0);
+      ++metrics_answers;
+      std::cout << "  metrics series=" << m.entries.size();
+      for (const auto& [key, value] : m.entries) {
+        if (key == "emergence_daemon_deliveries_total" ||
+            key == "emergence_daemon_packages_received_total" ||
+            key == "emergence_store_size") {
+          std::cout << " " << key << "=" << value;
+        }
+      }
+      std::cout << std::endl;
+    }
     if (s.successors.empty()) break;
     cursor = s.successors.front().addr;
   }
   std::cout << "ring size " << ring.size() << ", malformed frames "
             << malformed_total << std::endl;
+  if (metrics) {
+    std::cout << "metrics answered by " << metrics_answers << "/"
+              << ring.size() << " nodes" << std::endl;
+  }
 
   if (expect_ring != 0 && ring.size() != expect_ring) {
     std::cerr << "FAIL: expected a ring of " << expect_ring << ", walked "
